@@ -1,0 +1,36 @@
+// Equation 1 / §5: ESTEEM's counter-storage overhead as a percentage of the
+// L2 cache, swept over module count, associativity, and cache size.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/overhead.hpp"
+
+int main() {
+  using namespace esteem;
+
+  TextTable t;
+  t.set_header({"L2 size", "ways", "modules", "counter bits", "overhead %"});
+  for (std::uint64_t mb : {2ULL, 4ULL, 8ULL}) {
+    for (std::uint32_t ways : {8u, 16u, 32u}) {
+      for (std::uint32_t modules : {8u, 16u, 32u}) {
+        core::OverheadInputs in;
+        in.ways = ways;
+        in.modules = modules;
+        in.sets = mb * 1024 * 1024 / (64ULL * ways);
+        const std::uint64_t bits = core::counter_storage_bits(in);
+        t.add_row({std::to_string(mb) + "MB", std::to_string(ways),
+                   std::to_string(modules), std::to_string(bits),
+                   fmt(core::overhead_percent(in), 4)});
+      }
+    }
+    t.add_separator();
+  }
+  std::printf("Equation (1): counter storage overhead of ESTEEM\n%s\n",
+              t.to_string().c_str());
+
+  core::OverheadInputs paper_point;  // 4 MB, 16-way, 16 modules
+  std::printf("Paper's reference point (4MB, 16-way, 16 modules): %.4f%%\n"
+              "(paper reports 0.06%%, i.e. always < 0.1%% of the L2, §1.1/§5)\n",
+              core::overhead_percent(paper_point));
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Google-benchmark micro-benchmarks for the simulator's hot paths: cache
+// access, bank timing, Algorithm 1, RPV bookkeeping, trace generation, and
+// whole-system stepping throughput.
+#include <benchmark/benchmark.h>
+
+#include "cache/bank.hpp"
+#include "cache/cache.hpp"
+#include "common/rng.hpp"
+#include "core/algorithm.hpp"
+#include "cpu/system.hpp"
+#include "refrint/rpv.hpp"
+#include "trace/spec_profiles.hpp"
+
+namespace {
+
+using namespace esteem;
+
+void BM_CacheHit(benchmark::State& state) {
+  cache::SetAssocCache c({1024, 16});
+  for (block_t b = 0; b < 1024ULL * 16; ++b) c.access(b, false, 0);
+  Rng rng(1);
+  cycle_t now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.access(rng.below(1024ULL * 16), false, ++now));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHit);
+
+void BM_CacheMissStream(benchmark::State& state) {
+  cache::SetAssocCache c({1024, 16});
+  block_t b = 0;
+  cycle_t now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.access(b++, false, ++now));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheMissStream);
+
+void BM_BankTimerAccess(benchmark::State& state) {
+  cache::BankTimer t(1, 2);
+  t.set_refresh_spacing(6.1, 0);
+  cycle_t now = 0;
+  for (auto _ : state) {
+    now += 13;
+    benchmark::DoNotOptimize(t.access(now));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BankTimerAccess);
+
+void BM_Algorithm1(benchmark::State& state) {
+  const auto modules = static_cast<std::uint32_t>(state.range(0));
+  std::vector<Histogram> hists;
+  Rng rng(3);
+  for (std::uint32_t m = 0; m < modules; ++m) {
+    Histogram h(16);
+    for (std::uint32_t w = 0; w < 16; ++w) h.add(w, rng.below(10000) >> (w / 2));
+    hists.push_back(std::move(h));
+  }
+  core::AlgorithmConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::esteem_decide(hists, 16, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * modules);
+}
+BENCHMARK(BM_Algorithm1)->Arg(8)->Arg(16)->Arg(64);
+
+void BM_RpvTouch(benchmark::State& state) {
+  refrint::PolyphaseValidPolicy p(4096, 16, 4, 100'000);
+  for (std::uint32_t s = 0; s < 4096; ++s) p.on_fill(s, 0, s, 0);
+  Rng rng(7);
+  cycle_t now = 0;
+  for (auto _ : state) {
+    p.on_touch(static_cast<std::uint32_t>(rng.below(4096)), 0, now += 3);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RpvTouch);
+
+void BM_TraceGenerator(benchmark::State& state) {
+  const auto& profile = trace::profile_by_name("h264ref");
+  auto gen = trace::make_generator(profile, {4096, 64}, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen->next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceGenerator);
+
+void BM_SystemThroughput(benchmark::State& state) {
+  // Whole-simulator throughput in retired instructions/second.
+  SystemConfig cfg = SystemConfig::single_core();
+  cfg.esteem.interval_cycles = 2 * cfg.retention_cycles();
+  instr_t total = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    cpu::System system(cfg, cpu::Technique::Esteem, {"h264ref"}, 42);
+    cpu::RunOptions opt;
+    opt.instr_per_core = 500'000;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(system.run(opt));
+    total += opt.instr_per_core;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_SystemThroughput)->Unit(benchmark::kMillisecond);
+
+}  // namespace

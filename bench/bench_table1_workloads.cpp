@@ -1,0 +1,33 @@
+// Table 1: the workloads used in the paper, with the synthetic-profile
+// parameters this reproduction models them with.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "trace/spec_profiles.hpp"
+#include "trace/workloads.hpp"
+
+int main() {
+  using namespace esteem;
+
+  TextTable singles;
+  singles.set_header({"benchmark", "acr", "mem-ratio", "store-ratio", "ws",
+                      "stream", "chase", "non-LRU", "phases", "class"});
+  for (const auto& p : trace::all_profiles()) {
+    singles.add_row({std::string(p.name), std::string(p.acronym),
+                     fmt(p.mem_ratio, 2), fmt(p.store_ratio, 2),
+                     fmt(p.ws_kb / 1024.0, 2) + "MB", fmt(p.streaming_frac, 2),
+                     fmt(p.chase_frac, 2), p.non_lru ? "yes" : "no",
+                     std::to_string(p.phases), p.hpc ? "HPC" : "SPEC06"});
+  }
+  std::printf("Table 1 (upper): single-core workloads and synthetic profiles\n%s\n",
+              singles.to_string().c_str());
+
+  TextTable pairs;
+  pairs.set_header({"pair", "core 0", "core 1"});
+  for (const auto& w : trace::dual_core_workloads()) {
+    pairs.add_row({w.name, w.benchmarks[0], w.benchmarks[1]});
+  }
+  std::printf("Table 1 (lower): dual-core multiprogrammed pairs\n%s",
+              pairs.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,145 @@
+#include "cache/cache.hpp"
+
+#include <stdexcept>
+
+namespace esteem::cache {
+
+SetAssocCache::SetAssocCache(const CacheParams& params, std::string name)
+    : sets_(params.sets), ways_(params.ways), name_(std::move(name)) {
+  if (sets_ == 0 || ways_ == 0) {
+    throw std::invalid_argument("SetAssocCache: sets and ways must be >= 1");
+  }
+  if (!is_pow2(sets_)) {
+    throw std::invalid_argument("SetAssocCache: set count must be a power of two");
+  }
+  const std::size_t slots = static_cast<std::size_t>(sets_) * ways_;
+  blocks_.assign(slots, kInvalidBlock);
+  valid_.assign(slots, 0);
+  dirty_.assign(slots, 0);
+  stamp_.assign(slots, 0);
+  active_.assign(sets_, ways_);
+}
+
+AccessOutcome SetAssocCache::access(block_t blk, bool is_store, cycle_t now) {
+  AccessOutcome out;
+  const std::uint32_t set = set_index_of(blk);
+  const std::uint32_t active = active_[set];
+  const std::size_t base = idx(set, 0);
+
+  // Lookup among active ways (the invariant keeps valid lines there).
+  for (std::uint32_t w = 0; w < active; ++w) {
+    if (valid_[base + w] && blocks_[base + w] == blk) {
+      // Recency position: count valid lines touched more recently.
+      std::uint32_t pos = 0;
+      for (std::uint32_t v = 0; v < active; ++v) {
+        if (v != w && valid_[base + v] && stamp_[base + v] > stamp_[base + w]) ++pos;
+      }
+      out.hit = true;
+      out.lru_pos = pos;
+      stamp_[base + w] = ++stamp_counter_;
+      if (is_store) dirty_[base + w] = 1;
+      ++stats_.hits;
+      if (listener_ != nullptr) listener_->on_touch(set, w, now);
+      return out;
+    }
+  }
+
+  // Miss: pick an invalid active slot, else the LRU valid line.
+  ++stats_.misses;
+  std::uint32_t victim_way = active;  // sentinel
+  std::uint64_t oldest = ~std::uint64_t{0};
+  for (std::uint32_t w = 0; w < active; ++w) {
+    if (!valid_[base + w]) {
+      victim_way = w;
+      break;
+    }
+    if (stamp_[base + w] < oldest) {
+      oldest = stamp_[base + w];
+      victim_way = w;
+    }
+  }
+
+  if (valid_[base + victim_way]) {
+    out.victim = blocks_[base + victim_way];
+    out.victim_dirty = dirty_[base + victim_way] != 0;
+    ++stats_.evictions;
+    if (out.victim_dirty) ++stats_.dirty_evictions;
+    --valid_count_;
+    if (listener_ != nullptr) {
+      listener_->on_invalidate(set, victim_way, out.victim_dirty, now);
+    }
+  }
+
+  blocks_[base + victim_way] = blk;
+  valid_[base + victim_way] = 1;
+  dirty_[base + victim_way] = is_store ? 1 : 0;
+  stamp_[base + victim_way] = ++stamp_counter_;
+  ++valid_count_;
+  if (listener_ != nullptr) listener_->on_fill(set, victim_way, blk, now);
+  return out;
+}
+
+bool SetAssocCache::contains(block_t blk) const noexcept {
+  const std::uint32_t set = set_index_of(blk);
+  const std::size_t base = idx(set, 0);
+  for (std::uint32_t w = 0; w < active_[set]; ++w) {
+    if (valid_[base + w] && blocks_[base + w] == blk) return true;
+  }
+  return false;
+}
+
+bool SetAssocCache::invalidate(block_t blk, cycle_t now) {
+  const std::uint32_t set = set_index_of(blk);
+  const std::size_t base = idx(set, 0);
+  for (std::uint32_t w = 0; w < active_[set]; ++w) {
+    if (valid_[base + w] && blocks_[base + w] == blk) {
+      const bool was_dirty = dirty_[base + w] != 0;
+      valid_[base + w] = 0;
+      dirty_[base + w] = 0;
+      --valid_count_;
+      if (listener_ != nullptr) listener_->on_invalidate(set, w, was_dirty, now);
+      return was_dirty;
+    }
+  }
+  return false;
+}
+
+bool SetAssocCache::invalidate_slot(std::uint32_t set, std::uint32_t way, cycle_t now) {
+  if (set >= sets_ || way >= ways_) {
+    throw std::out_of_range("invalidate_slot: bad slot");
+  }
+  const std::size_t i = idx(set, way);
+  if (!valid_[i]) return false;
+  const bool was_dirty = dirty_[i] != 0;
+  valid_[i] = 0;
+  dirty_[i] = 0;
+  --valid_count_;
+  if (listener_ != nullptr) listener_->on_invalidate(set, way, was_dirty, now);
+  return was_dirty;
+}
+
+void SetAssocCache::resize_set(std::uint32_t set, std::uint32_t new_active,
+                               const std::function<void(block_t, bool)>& on_evict) {
+  if (set >= sets_) throw std::out_of_range("resize_set: bad set index");
+  if (new_active == 0 || new_active > ways_) {
+    throw std::invalid_argument("resize_set: active count must be in [1, ways]");
+  }
+  const std::size_t base = idx(set, 0);
+  // Shrinking: flush lines in the deactivated ways. The reconfiguration
+  // happens off the critical access path (paper §5).
+  for (std::uint32_t w = new_active; w < active_[set]; ++w) {
+    if (valid_[base + w]) {
+      const bool was_dirty = dirty_[base + w] != 0;
+      if (on_evict) on_evict(blocks_[base + w], was_dirty);
+      valid_[base + w] = 0;
+      dirty_[base + w] = 0;
+      --valid_count_;
+      ++stats_.evictions;
+      if (was_dirty) ++stats_.dirty_evictions;
+      if (listener_ != nullptr) listener_->on_invalidate(set, w, was_dirty, 0);
+    }
+  }
+  active_[set] = new_active;
+}
+
+}  // namespace esteem::cache

@@ -1,0 +1,131 @@
+// Set-associative cache with true-LRU replacement, per-set active-way
+// masking (selective-ways reconfiguration, paper §3.1/§5), dirty bits, and a
+// line-lifecycle listener hook that the eDRAM refresh policies subscribe to.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace esteem::cache {
+
+struct CacheParams {
+  std::uint32_t sets = 1;
+  std::uint32_t ways = 1;
+};
+
+/// Observer of line lifecycle events. All callbacks identify the line by its
+/// (set, way) slot so policies can keep flat per-slot state.
+class LineListener {
+ public:
+  virtual ~LineListener() = default;
+  virtual void on_fill(std::uint32_t set, std::uint32_t way, block_t blk, cycle_t now) = 0;
+  virtual void on_touch(std::uint32_t set, std::uint32_t way, cycle_t now) = 0;
+  virtual void on_invalidate(std::uint32_t set, std::uint32_t way, bool dirty,
+                             cycle_t now) = 0;
+};
+
+struct AccessOutcome {
+  bool hit = false;
+  /// On a hit: recency position of the line among valid lines in its set
+  /// (0 = MRU). Undefined on a miss.
+  std::uint32_t lru_pos = 0;
+  /// On a miss that evicted a victim: the victim block, else kInvalidBlock.
+  block_t victim = kInvalidBlock;
+  bool victim_dirty = false;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t dirty_evictions = 0;
+
+  std::uint64_t accesses() const noexcept { return hits + misses; }
+};
+
+/// The storage/replacement core shared by L1, L2, and (implicitly, via the
+/// never-reconfigured leader sets) the embedded ATD.
+///
+/// Invariant: valid lines live only in physical ways [0, active_ways(set)).
+class SetAssocCache {
+ public:
+  SetAssocCache(const CacheParams& params, std::string name = "cache");
+
+  std::uint32_t sets() const noexcept { return sets_; }
+  std::uint32_t ways() const noexcept { return ways_; }
+  const std::string& name() const noexcept { return name_; }
+
+  /// Lookup + allocate-on-miss. Victim selection prefers an invalid slot,
+  /// else the LRU valid line, among the set's active ways.
+  AccessOutcome access(block_t blk, bool is_store, cycle_t now);
+
+  /// Probe without side effects.
+  bool contains(block_t blk) const noexcept;
+
+  /// Invalidate a block if present (used for back-invalidation). Returns
+  /// true if the line was present and dirty.
+  bool invalidate(block_t blk, cycle_t now);
+
+  /// Invalidate a specific slot (used by Refrint RPD's eager invalidation).
+  /// No-op on an already-invalid slot. Returns true if the line was dirty.
+  bool invalidate_slot(std::uint32_t set, std::uint32_t way, cycle_t now);
+
+  /// Changes a set's active way count. When shrinking, lines in deactivated
+  /// ways are invalidated and reported through `on_evict(block, dirty)`
+  /// (the paper: clean lines are discarded, dirty lines written back, §5).
+  void resize_set(std::uint32_t set, std::uint32_t new_active,
+                  const std::function<void(block_t, bool)>& on_evict);
+
+  std::uint32_t active_ways(std::uint32_t set) const noexcept { return active_[set]; }
+
+  /// Number of currently valid lines (maintained incrementally).
+  std::uint64_t valid_lines() const noexcept { return valid_count_; }
+
+  std::uint32_t set_index_of(block_t blk) const noexcept {
+    return static_cast<std::uint32_t>(blk & (sets_ - 1));
+  }
+
+  const CacheStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+  /// At most one listener (the refresh policy); may be null.
+  void set_listener(LineListener* listener) noexcept { listener_ = listener; }
+
+  /// True if the slot currently holds a valid line.
+  bool slot_valid(std::uint32_t set, std::uint32_t way) const noexcept {
+    return valid_[idx(set, way)] != 0;
+  }
+  bool slot_dirty(std::uint32_t set, std::uint32_t way) const noexcept {
+    return dirty_[idx(set, way)] != 0;
+  }
+  block_t slot_block(std::uint32_t set, std::uint32_t way) const noexcept {
+    return blocks_[idx(set, way)];
+  }
+
+ private:
+  std::size_t idx(std::uint32_t set, std::uint32_t way) const noexcept {
+    return static_cast<std::size_t>(set) * ways_ + way;
+  }
+
+  std::uint32_t sets_;
+  std::uint32_t ways_;
+  std::string name_;
+
+  // Struct-of-arrays layout: one entry per (set, way) slot.
+  std::vector<block_t> blocks_;
+  std::vector<std::uint8_t> valid_;
+  std::vector<std::uint8_t> dirty_;
+  std::vector<std::uint64_t> stamp_;   // recency: larger = more recent
+  std::vector<std::uint32_t> active_;  // active way count per set
+
+  std::uint64_t stamp_counter_ = 0;
+  std::uint64_t valid_count_ = 0;
+  CacheStats stats_;
+  LineListener* listener_ = nullptr;
+};
+
+}  // namespace esteem::cache

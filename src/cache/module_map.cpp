@@ -1,0 +1,12 @@
+#include "cache/module_map.hpp"
+
+namespace esteem::cache {
+
+ModuleMap::ModuleMap(std::uint32_t sets, std::uint32_t modules) : modules_(modules) {
+  if (modules == 0 || sets == 0 || sets % modules != 0) {
+    throw std::invalid_argument("ModuleMap: modules must divide sets");
+  }
+  sets_per_module_ = sets / modules;
+}
+
+}  // namespace esteem::cache

@@ -1,0 +1,33 @@
+// Set -> module mapping (paper §3.1): the cache sets are logically divided
+// into M contiguous, equally sized modules; reconfiguration decisions are
+// made per module.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace esteem::cache {
+
+class ModuleMap {
+ public:
+  ModuleMap() = default;
+
+  /// Precondition: modules divides sets evenly.
+  ModuleMap(std::uint32_t sets, std::uint32_t modules);
+
+  std::uint32_t modules() const noexcept { return modules_; }
+  std::uint32_t sets_per_module() const noexcept { return sets_per_module_; }
+
+  std::uint32_t module_of(std::uint32_t set) const noexcept {
+    return set / sets_per_module_;
+  }
+  std::uint32_t first_set(std::uint32_t module) const noexcept {
+    return module * sets_per_module_;
+  }
+
+ private:
+  std::uint32_t modules_ = 1;
+  std::uint32_t sets_per_module_ = 1;
+};
+
+}  // namespace esteem::cache

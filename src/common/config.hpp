@@ -1,0 +1,147 @@
+// System configuration mirroring the paper's experimental setup (§6.1, §7).
+//
+// Defaults are the paper's defaults: 2 GHz cores; 32 KB / 4-way / 2-cycle
+// private L1s; shared 16-way / 12-cycle / 4-bank eDRAM L2 (4 MB single-core,
+// 8 MB dual-core); 220-cycle main memory at 10 GB/s (single) / 15 GB/s
+// (dual); 50 us retention; ESTEEM with alpha = 0.97, A_min = 3, R_s = 64,
+// 10 M-cycle intervals, 8 (single) / 16 (dual) modules.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace esteem {
+
+/// Size/shape of a set-associative cache.
+struct CacheGeometry {
+  std::uint64_t size_bytes = 4ULL * 1024 * 1024;
+  std::uint32_t ways = 16;
+  std::uint32_t line_bytes = 64;
+
+  std::uint32_t sets() const noexcept {
+    return static_cast<std::uint32_t>(size_bytes / (static_cast<std::uint64_t>(ways) * line_bytes));
+  }
+  std::uint64_t lines() const noexcept { return size_bytes / line_bytes; }
+};
+
+struct L1Config {
+  CacheGeometry geom{32ULL * 1024, 4, 64};
+  std::uint32_t latency_cycles = 2;
+};
+
+struct L2Config {
+  CacheGeometry geom{4ULL * 1024 * 1024, 16, 64};
+  std::uint32_t latency_cycles = 12;
+  std::uint32_t banks = 4;
+  /// Cycles a demand access occupies its bank (partially pipelined bank
+  /// service; smaller than the 12-cycle access latency).
+  std::uint32_t access_occupancy_cycles = 4;
+  /// Effective bank-interference cycles per refreshed line (may be
+  /// fractional). §6.3 assumes refreshing a line costs the time of an
+  /// access; we default to 4 cycles of effective interference (calibration
+  /// knob — see DESIGN.md) so baseline refresh pressure scales with cache
+  /// size and retention the way the paper's results do: moderate at
+  /// 4 MB/50 us, near bank saturation at 8-16 MB or 40 us. The bank model
+  /// clamps the interference so refresh alone never over-subscribes a bank.
+  double refresh_occupancy_cycles = 4.0;
+  /// Scale of the analytic queueing-delay term added on top of the explicit
+  /// bank busy window (see cache::BankTimer). 0 disables it.
+  double queue_pressure = 2.0;
+};
+
+struct EdramConfig {
+  /// Retention period: how long a cell holds data without refresh. The paper
+  /// uses 50 us (60 C operating point) by default and 40 us in §7.3.
+  double retention_us = 50.0;
+  /// Number of Refrint polyphase phases (the paper evaluates RPV with 4).
+  std::uint32_t rpv_phases = 4;
+  /// Correctable bits per line for the EccExtended technique.
+  std::uint32_t ecc_correctable = 4;
+  /// Residual per-line failure-probability budget for choosing the ECC
+  /// refresh-interval extension.
+  double ecc_target_line_failure = 1e-9;
+  /// Idle time after which the CacheDecay technique gates a line off, as a
+  /// multiple of the retention period (Kaxiras-style decay interval).
+  double decay_interval_retentions = 8.0;
+};
+
+struct MemoryConfig {
+  std::uint32_t latency_cycles = 220;
+  double bandwidth_gbps = 10.0;
+};
+
+/// Parameters of the ESTEEM energy-saving algorithm (§3, §4, §7).
+struct EsteemParams {
+  /// Hit-coverage threshold: keep enough ways on to cover >= alpha * hits.
+  double alpha = 0.97;
+  /// Minimum number of ways always kept on (never 1: direct-mapped LLCs
+  /// lose too much performance, §3.1).
+  std::uint32_t a_min = 3;
+  /// Number of logical set modules the cache is divided into.
+  std::uint32_t modules = 8;
+  /// Reconfiguration interval in cycles.
+  cycle_t interval_cycles = 10'000'000;
+  /// Set-sampling ratio R_s: one leader set per R_s sets feeds the profiler.
+  std::uint32_t sampling_ratio = 64;
+  /// Guard that limits turn-off to one way for modules with non-LRU hit
+  /// patterns (Algorithm 1, lines 4-13). On by default per the paper;
+  /// exposed so the ablation bench can disable it.
+  bool nonlru_guard = true;
+  /// Optional sampling-noise guard: a module whose leader sets saw fewer
+  /// than this many L2 accesses (after history smoothing) keeps its current
+  /// configuration. Off by default — zero traffic legitimately decides
+  /// A_min, the paper's libquantum/gamess behaviour.
+  std::uint64_t min_leader_samples = 0;
+  /// Fraction of the previous intervals' (smoothed) histogram carried into
+  /// this interval's decision: hist <- hist * history_weight + new. The
+  /// paper decides from the last interval alone (weight 0), which is stable
+  /// at its 10M-cycle intervals; scaled-down bench intervals collect few
+  /// leader samples, so a modest exponential history suppresses
+  /// noise-driven way oscillation (see DESIGN.md). 0 = paper-exact.
+  double history_weight = 0.75;
+  /// Extension (paper §7.2 future work): cap on |delta active ways| per
+  /// module per interval. 0 disables the cap.
+  std::uint32_t max_way_delta = 0;
+  /// Extension (paper §7.2 future work): suppress a reconfiguration that
+  /// reverses the previous interval's direction within this many intervals.
+  /// 0 disables hysteresis.
+  std::uint32_t hysteresis_intervals = 0;
+  /// Extension (paper §7.2: "detecting and avoiding frequent
+  /// reconfigurations"): apply a shrink only after the algorithm has asked
+  /// to shrink for this many consecutive intervals. Growth is always
+  /// immediate (it flushes nothing and protects performance). 0/1 =
+  /// paper-exact immediate shrinking.
+  std::uint32_t shrink_confirm_intervals = 0;
+};
+
+struct SystemConfig {
+  std::uint32_t ncores = 1;
+  double freq_ghz = 2.0;
+  L1Config l1;
+  L2Config l2;
+  MemoryConfig mem;
+  EdramConfig edram;
+  EsteemParams esteem;
+
+  cycle_t retention_cycles() const noexcept {
+    return static_cast<cycle_t>(edram.retention_us * 1000.0 * freq_ghz);
+  }
+  /// Main-memory channel occupancy per 64 B line transfer, in cycles.
+  double mem_service_cycles() const noexcept {
+    return static_cast<double>(l2.geom.line_bytes) / bandwidth_bytes_per_cycle();
+  }
+  double bandwidth_bytes_per_cycle() const noexcept {
+    return mem.bandwidth_gbps / freq_ghz;
+  }
+
+  /// Paper defaults for a single-core system (§7).
+  static SystemConfig single_core();
+  /// Paper defaults for a dual-core system (§7): 8 MB L2, 15 GB/s, M = 16.
+  static SystemConfig dual_core();
+
+  /// Throws std::invalid_argument on inconsistent parameters.
+  void validate() const;
+};
+
+}  // namespace esteem

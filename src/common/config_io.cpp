@@ -1,0 +1,231 @@
+#include "common/config_io.hpp"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace esteem {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+double parse_double(const std::string& v, const std::string& key) {
+  std::size_t used = 0;
+  const double d = std::stod(v, &used);
+  if (used != v.size()) throw std::invalid_argument("config: bad number for " + key);
+  return d;
+}
+
+std::uint64_t parse_u64(const std::string& v, const std::string& key) {
+  std::size_t used = 0;
+  const unsigned long long u = std::stoull(v, &used);
+  if (used != v.size()) throw std::invalid_argument("config: bad integer for " + key);
+  return u;
+}
+
+bool parse_bool(const std::string& v, const std::string& key) {
+  if (v == "true" || v == "1") return true;
+  if (v == "false" || v == "0") return false;
+  throw std::invalid_argument("config: bad boolean for " + key);
+}
+
+using Setter = std::function<void(SystemConfig&, const std::string&, const std::string&)>;
+
+const std::map<std::string, Setter>& setters() {
+  static const std::map<std::string, Setter> kSetters = {
+      {"system.ncores", [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.ncores = static_cast<std::uint32_t>(parse_u64(v, k));
+       }},
+      {"system.freq_ghz", [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.freq_ghz = parse_double(v, k);
+       }},
+      {"l1.size_kb", [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.l1.geom.size_bytes = parse_u64(v, k) * 1024;
+       }},
+      {"l1.ways", [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.l1.geom.ways = static_cast<std::uint32_t>(parse_u64(v, k));
+       }},
+      {"l1.latency", [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.l1.latency_cycles = static_cast<std::uint32_t>(parse_u64(v, k));
+       }},
+      {"l2.size_kb", [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.l2.geom.size_bytes = parse_u64(v, k) * 1024;
+       }},
+      {"l2.ways", [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.l2.geom.ways = static_cast<std::uint32_t>(parse_u64(v, k));
+       }},
+      {"l2.line_bytes", [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.l2.geom.line_bytes = static_cast<std::uint32_t>(parse_u64(v, k));
+         c.l1.geom.line_bytes = c.l2.geom.line_bytes;
+       }},
+      {"l2.latency", [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.l2.latency_cycles = static_cast<std::uint32_t>(parse_u64(v, k));
+       }},
+      {"l2.banks", [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.l2.banks = static_cast<std::uint32_t>(parse_u64(v, k));
+       }},
+      {"l2.access_occupancy", [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.l2.access_occupancy_cycles = static_cast<std::uint32_t>(parse_u64(v, k));
+       }},
+      {"l2.refresh_occupancy", [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.l2.refresh_occupancy_cycles = parse_double(v, k);
+       }},
+      {"l2.queue_pressure", [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.l2.queue_pressure = parse_double(v, k);
+       }},
+      {"edram.retention_us", [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.edram.retention_us = parse_double(v, k);
+       }},
+      {"edram.rpv_phases", [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.edram.rpv_phases = static_cast<std::uint32_t>(parse_u64(v, k));
+       }},
+      {"edram.ecc_correctable", [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.edram.ecc_correctable = static_cast<std::uint32_t>(parse_u64(v, k));
+       }},
+      {"edram.ecc_target_line_failure",
+       [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.edram.ecc_target_line_failure = parse_double(v, k);
+       }},
+      {"mem.latency", [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.mem.latency_cycles = static_cast<std::uint32_t>(parse_u64(v, k));
+       }},
+      {"mem.bandwidth_gbps", [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.mem.bandwidth_gbps = parse_double(v, k);
+       }},
+      {"esteem.alpha", [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.esteem.alpha = parse_double(v, k);
+       }},
+      {"esteem.a_min", [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.esteem.a_min = static_cast<std::uint32_t>(parse_u64(v, k));
+       }},
+      {"esteem.modules", [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.esteem.modules = static_cast<std::uint32_t>(parse_u64(v, k));
+       }},
+      {"esteem.interval_cycles", [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.esteem.interval_cycles = parse_u64(v, k);
+       }},
+      {"esteem.sampling_ratio", [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.esteem.sampling_ratio = static_cast<std::uint32_t>(parse_u64(v, k));
+       }},
+      {"esteem.nonlru_guard", [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.esteem.nonlru_guard = parse_bool(v, k);
+       }},
+      {"esteem.min_leader_samples",
+       [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.esteem.min_leader_samples = parse_u64(v, k);
+       }},
+      {"esteem.history_weight", [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.esteem.history_weight = parse_double(v, k);
+       }},
+      {"esteem.max_way_delta", [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.esteem.max_way_delta = static_cast<std::uint32_t>(parse_u64(v, k));
+       }},
+      {"esteem.hysteresis_intervals",
+       [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.esteem.hysteresis_intervals = static_cast<std::uint32_t>(parse_u64(v, k));
+       }},
+      {"esteem.shrink_confirm_intervals",
+       [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.esteem.shrink_confirm_intervals = static_cast<std::uint32_t>(parse_u64(v, k));
+       }},
+  };
+  return kSetters;
+}
+
+}  // namespace
+
+SystemConfig load_config(std::istream& in) {
+  SystemConfig cfg;
+  std::string section;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#' || t[0] == ';') continue;
+    if (t.front() == '[') {
+      if (t.back() != ']') {
+        throw std::invalid_argument("config: bad section at line " +
+                                    std::to_string(line_no));
+      }
+      section = trim(t.substr(1, t.size() - 2));
+      continue;
+    }
+    const auto eq = t.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("config: expected key=value at line " +
+                                  std::to_string(line_no));
+    }
+    const std::string key = section + "." + trim(t.substr(0, eq));
+    const std::string value = trim(t.substr(eq + 1));
+    const auto it = setters().find(key);
+    if (it == setters().end()) {
+      throw std::invalid_argument("config: unknown key '" + key + "' at line " +
+                                  std::to_string(line_no));
+    }
+    it->second(cfg, value, key);
+  }
+  cfg.validate();
+  return cfg;
+}
+
+SystemConfig load_config_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("config: cannot open " + path);
+  return load_config(in);
+}
+
+void save_config(const SystemConfig& cfg, std::ostream& out) {
+  out << "[system]\n"
+      << "ncores = " << cfg.ncores << "\n"
+      << "freq_ghz = " << cfg.freq_ghz << "\n\n"
+      << "[l1]\n"
+      << "size_kb = " << cfg.l1.geom.size_bytes / 1024 << "\n"
+      << "ways = " << cfg.l1.geom.ways << "\n"
+      << "latency = " << cfg.l1.latency_cycles << "\n\n"
+      << "[l2]\n"
+      << "size_kb = " << cfg.l2.geom.size_bytes / 1024 << "\n"
+      << "ways = " << cfg.l2.geom.ways << "\n"
+      << "line_bytes = " << cfg.l2.geom.line_bytes << "\n"
+      << "latency = " << cfg.l2.latency_cycles << "\n"
+      << "banks = " << cfg.l2.banks << "\n"
+      << "access_occupancy = " << cfg.l2.access_occupancy_cycles << "\n"
+      << "refresh_occupancy = " << cfg.l2.refresh_occupancy_cycles << "\n"
+      << "queue_pressure = " << cfg.l2.queue_pressure << "\n\n"
+      << "[edram]\n"
+      << "retention_us = " << cfg.edram.retention_us << "\n"
+      << "rpv_phases = " << cfg.edram.rpv_phases << "\n"
+      << "ecc_correctable = " << cfg.edram.ecc_correctable << "\n"
+      << "ecc_target_line_failure = " << cfg.edram.ecc_target_line_failure << "\n\n"
+      << "[mem]\n"
+      << "latency = " << cfg.mem.latency_cycles << "\n"
+      << "bandwidth_gbps = " << cfg.mem.bandwidth_gbps << "\n\n"
+      << "[esteem]\n"
+      << "alpha = " << cfg.esteem.alpha << "\n"
+      << "a_min = " << cfg.esteem.a_min << "\n"
+      << "modules = " << cfg.esteem.modules << "\n"
+      << "interval_cycles = " << cfg.esteem.interval_cycles << "\n"
+      << "sampling_ratio = " << cfg.esteem.sampling_ratio << "\n"
+      << "nonlru_guard = " << (cfg.esteem.nonlru_guard ? "true" : "false") << "\n"
+      << "min_leader_samples = " << cfg.esteem.min_leader_samples << "\n"
+      << "history_weight = " << cfg.esteem.history_weight << "\n"
+      << "max_way_delta = " << cfg.esteem.max_way_delta << "\n"
+      << "hysteresis_intervals = " << cfg.esteem.hysteresis_intervals << "\n"
+      << "shrink_confirm_intervals = " << cfg.esteem.shrink_confirm_intervals << "\n";
+}
+
+void save_config_file(const SystemConfig& cfg, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::invalid_argument("config: cannot open " + path);
+  save_config(cfg, out);
+}
+
+}  // namespace esteem

@@ -1,0 +1,35 @@
+// Textual SystemConfig serialization: a small INI dialect so the CLI tool
+// and batch scripts can describe experiments without recompiling.
+//
+//   [system]
+//   ncores = 2
+//   freq_ghz = 2.0
+//   [l2]
+//   size_kb = 8192
+//   ways = 16
+//   ...
+//   [esteem]
+//   alpha = 0.97
+//   a_min = 3
+//
+// Unknown sections/keys are rejected (catching typos beats ignoring them).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/config.hpp"
+
+namespace esteem {
+
+/// Parses a config from an INI stream/file. Starts from the defaults and
+/// applies only the keys present, then validates. Throws
+/// std::invalid_argument on syntax errors, unknown keys, or invalid values.
+SystemConfig load_config(std::istream& in);
+SystemConfig load_config_file(const std::string& path);
+
+/// Writes every field in load_config's format (round-trips exactly).
+void save_config(const SystemConfig& cfg, std::ostream& out);
+void save_config_file(const SystemConfig& cfg, const std::string& path);
+
+}  // namespace esteem

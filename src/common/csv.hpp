@@ -1,0 +1,26 @@
+// CSV writer so bench output can be post-processed/plotted.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace esteem {
+
+/// Writes rows of cells as RFC-4180-ish CSV (quotes cells containing
+/// commas/quotes/newlines). Throws std::runtime_error if the file cannot
+/// be opened.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& cells);
+  /// Flushes and closes; called by the destructor as well.
+  void close();
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ofstream out_;
+};
+
+}  // namespace esteem

@@ -1,0 +1,21 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+namespace esteem {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v) return fallback;
+  return static_cast<std::uint64_t>(parsed);
+}
+
+std::string env_str(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? std::string{v} : fallback;
+}
+
+}  // namespace esteem

@@ -1,0 +1,15 @@
+// Environment-variable knobs used by the bench harness to scale run length.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace esteem {
+
+/// Reads an integer environment variable; returns `fallback` if unset/bad.
+std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+
+/// Reads a string environment variable; returns `fallback` if unset.
+std::string env_str(const char* name, const std::string& fallback);
+
+}  // namespace esteem

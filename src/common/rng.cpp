@@ -1,0 +1,9 @@
+#include "common/rng.hpp"
+
+// Header-only; this TU exists so the target has a compiled artifact and the
+// header is syntax-checked even when nothing else includes it yet.
+namespace esteem {
+namespace {
+[[maybe_unused]] void anchor() { Rng rng{1}; (void)rng(); }
+}  // namespace
+}  // namespace esteem

@@ -1,0 +1,98 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <ostream>
+#include <sstream>
+
+namespace esteem {
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '.' && c != '-' &&
+        c != '+' && c != '%' && c != 'x' && c != 'e') {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+void TextTable::set_header(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+void TextTable::add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+void TextTable::add_separator() { separators_.push_back(rows_.size()); }
+
+std::string TextTable::to_string() const {
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<std::size_t> width(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream os;
+  auto rule = [&] {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      os << '+' << std::string(width[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string cell = c < r.size() ? r[c] : "";
+      os << "| ";
+      if (looks_numeric(cell)) {
+        os << std::string(width[c] - cell.size(), ' ') << cell;
+      } else {
+        os << cell << std::string(width[c] - cell.size(), ' ');
+      }
+      os << ' ';
+    }
+    os << "|\n";
+  };
+
+  rule();
+  if (!header_.empty()) {
+    emit(header_);
+    rule();
+  }
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (std::find(separators_.begin(), separators_.end(), i) != separators_.end()) rule();
+    emit(rows_[i]);
+  }
+  rule();
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << to_string(); }
+
+std::string fmt(double v, int digits) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(digits);
+  os << v;
+  return os.str();
+}
+
+std::string fmt_bytes(std::uint64_t bytes) {
+  constexpr std::uint64_t kMB = 1024ULL * 1024;
+  constexpr std::uint64_t kKB = 1024ULL;
+  std::ostringstream os;
+  if (bytes >= kMB && bytes % kMB == 0) {
+    os << bytes / kMB << "MB";
+  } else if (bytes >= kKB && bytes % kKB == 0) {
+    os << bytes / kKB << "KB";
+  } else {
+    os << bytes << "B";
+  }
+  return os.str();
+}
+
+}  // namespace esteem

@@ -1,0 +1,35 @@
+// Minimal ASCII table printer for the paper-style bench reports.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace esteem {
+
+/// Column-aligned text table. Numeric-looking cells are right-aligned.
+class TextTable {
+ public:
+  /// Sets the header row; resets nothing else.
+  void set_header(std::vector<std::string> cells);
+  void add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal separator before the next added row.
+  void add_separator();
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> separators_;  // row indices preceded by a rule
+};
+
+/// Formats a double with `digits` decimal places.
+std::string fmt(double v, int digits = 2);
+
+/// Formats e.g. 4194304 -> "4MB", 32768 -> "32KB".
+std::string fmt_bytes(std::uint64_t bytes);
+
+}  // namespace esteem

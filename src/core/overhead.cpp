@@ -1,0 +1,17 @@
+#include "core/overhead.hpp"
+
+#include <stdexcept>
+
+namespace esteem::core {
+
+std::uint64_t counter_storage_bits(const OverheadInputs& in) {
+  return (2ULL * in.ways + 1ULL) * in.modules * in.counter_bits;
+}
+
+double overhead_percent(const OverheadInputs& in) {
+  const auto l2_bits = static_cast<double>(in.sets) * in.ways * (in.block_bits + in.tag_bits);
+  if (l2_bits <= 0.0) throw std::invalid_argument("overhead_percent: empty cache");
+  return 100.0 * static_cast<double>(counter_storage_bits(in)) / l2_bits;
+}
+
+}  // namespace esteem::core

@@ -1,0 +1,28 @@
+// Storage-overhead assessment for ESTEEM's counters (paper §5, Eq. 1):
+//
+//   Overhead% = ((2A + 1) * M * 40) / (S * A * (B + G)) * 100
+//
+// nL2Hit and Accumulated_L2Hit need 2*M*A counters, nActiveWay needs M,
+// each counter 40 bits; B = 512-bit lines, G = 40-bit tags.
+#pragma once
+
+#include <cstdint>
+
+namespace esteem::core {
+
+struct OverheadInputs {
+  std::uint64_t sets = 4096;         ///< S
+  std::uint32_t ways = 16;           ///< A
+  std::uint32_t modules = 16;        ///< M
+  std::uint32_t block_bits = 512;    ///< B (64-byte line)
+  std::uint32_t tag_bits = 40;       ///< G
+  std::uint32_t counter_bits = 40;
+};
+
+/// Total counter storage in bits: (2A + 1) * M * counter_bits.
+std::uint64_t counter_storage_bits(const OverheadInputs& in);
+
+/// Equation (1): counter storage as a percentage of L2 storage.
+double overhead_percent(const OverheadInputs& in);
+
+}  // namespace esteem::core

@@ -1,0 +1,22 @@
+#include "cpu/core_model.hpp"
+
+#include <stdexcept>
+
+namespace esteem::cpu {
+
+Core::Core(std::uint32_t id, std::unique_ptr<trace::AccessGenerator> generator,
+           block_t block_offset)
+    : id_(id), generator_(std::move(generator)), block_offset_(block_offset) {
+  if (!generator_) throw std::invalid_argument("Core: null generator");
+}
+
+void Core::step(MemorySystem& mem) {
+  const trace::MemRef ref = generator_->next();
+  cycles_ += ref.gap;  // one cycle per non-memory instruction
+  instret_ += ref.gap;
+  const cycle_t latency = mem.access(id_, ref.block + block_offset_, ref.is_store, cycles_);
+  cycles_ += latency;
+  ++instret_;
+}
+
+}  // namespace esteem::cpu

@@ -1,0 +1,40 @@
+// In-order core model with non-memory-instruction batching.
+//
+// Every non-memory instruction retires in one cycle; memory operations pay
+// the hierarchy latency returned by MemorySystem. Trace generators emit
+// (gap, memory-op) pairs, so the simulator's cost per retired instruction is
+// amortized to O(1) over the gap.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.hpp"
+#include "cpu/memory_system.hpp"
+#include "trace/access.hpp"
+
+namespace esteem::cpu {
+
+class Core {
+ public:
+  /// `block_offset` isolates this core's address space in multiprogrammed
+  /// runs (each Table 1 pair runs two independent benchmarks).
+  Core(std::uint32_t id, std::unique_ptr<trace::AccessGenerator> generator,
+       block_t block_offset);
+
+  /// Executes the next (gap, memory-op) batch; advances the local clock.
+  void step(MemorySystem& mem);
+
+  std::uint32_t id() const noexcept { return id_; }
+  cycle_t cycles() const noexcept { return cycles_; }
+  instr_t instret() const noexcept { return instret_; }
+
+ private:
+  std::uint32_t id_;
+  std::unique_ptr<trace::AccessGenerator> generator_;
+  block_t block_offset_;
+  cycle_t cycles_ = 0;
+  instr_t instret_ = 0;
+};
+
+}  // namespace esteem::cpu

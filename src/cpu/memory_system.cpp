@@ -1,0 +1,235 @@
+#include "cpu/memory_system.hpp"
+
+#include <stdexcept>
+
+#include "edram/ecc.hpp"
+#include "edram/smart_refresh.hpp"
+#include "refrint/rpv.hpp"
+
+namespace esteem::cpu {
+
+namespace {
+
+cache::CacheParams l1_params(const SystemConfig& cfg) {
+  return {cfg.l1.geom.sets(), cfg.l1.geom.ways};
+}
+
+cache::CacheParams l2_params(const SystemConfig& cfg) {
+  return {cfg.l2.geom.sets(), cfg.l2.geom.ways};
+}
+
+}  // namespace
+
+MemorySystem::MemorySystem(const SystemConfig& cfg, Technique technique)
+    : cfg_(cfg),
+      technique_(technique),
+      l2_(l2_params(cfg), "L2"),
+      banks_(cfg.l2.banks, cfg.l2.geom.sets(), cfg.l2.refresh_occupancy_cycles,
+             cfg.l2.access_occupancy_cycles, cfg.l2.queue_pressure),
+      modules_(cfg.l2.geom.sets(), cfg.esteem.modules),
+      mm_({cfg.mem.latency_cycles, cfg.mem_service_cycles()}) {
+  cfg_.validate();
+
+  l1_.reserve(cfg.ncores);
+  for (std::uint32_t c = 0; c < cfg.ncores; ++c) {
+    l1_.emplace_back(l1_params(cfg), "L1-" + std::to_string(c));
+  }
+
+  const cycle_t retention = cfg.retention_cycles();
+  switch (technique_) {
+    case Technique::BaselinePeriodicAll:
+      policy_ = std::make_unique<edram::PeriodicAllPolicy>(cfg.l2.geom.lines(), retention);
+      break;
+    case Technique::PeriodicValid:
+      policy_ = std::make_unique<edram::PeriodicValidPolicy>(retention);
+      break;
+    case Technique::RefrintRPV:
+      policy_ = std::make_unique<refrint::PolyphaseValidPolicy>(
+          l2_.sets(), l2_.ways(), cfg.edram.rpv_phases, retention);
+      break;
+    case Technique::RefrintRPD:
+      policy_ = std::make_unique<refrint::PolyphaseDirtyPolicy>(
+          l2_, cfg.edram.rpv_phases, retention);
+      break;
+    case Technique::SmartRefresh:
+      policy_ = std::make_unique<edram::SmartRefreshPolicy>(
+          l2_.sets(), l2_.ways(), retention,
+          std::max<cycle_t>(1, retention / cfg.edram.rpv_phases));
+      break;
+    case Technique::EccExtended: {
+      const std::uint32_t ext = edram::max_safe_extension(
+          /*bits_per_line=*/cfg.l2.geom.line_bytes * 8, cfg.edram.ecc_correctable,
+          cfg.edram.ecc_target_line_failure, edram::CellRetentionModel{});
+      policy_ = std::make_unique<edram::EccRefreshPolicy>(retention, ext);
+      break;
+    }
+    case Technique::CacheDecay: {
+      auto decay = std::make_unique<edram::CacheDecayPolicy>(
+          l2_, retention,
+          static_cast<cycle_t>(cfg.edram.decay_interval_retentions *
+                               static_cast<double>(retention)),
+          /*check_period=*/retention);
+      decay_ = decay.get();
+      policy_ = std::move(decay);
+      break;
+    }
+    case Technique::Esteem:
+      // ESTEEM refreshes only the valid blocks of the active portion (§3.1);
+      // valid lines exist only in active ways, so periodic-valid counting is
+      // exact. The saving beyond that comes from the controller shrinking
+      // the valid footprint and F_A.
+      policy_ = std::make_unique<edram::PeriodicValidPolicy>(retention);
+      leaders_ = std::make_unique<profiler::LeaderSets>(
+          l2_.sets(), cfg.esteem.sampling_ratio, modules_);
+      profiler_ = std::make_unique<profiler::ModuleProfiler>(modules_, l2_.ways(),
+                                                             *leaders_);
+      controller_ = std::make_unique<core::EsteemController>(
+          l2_, modules_, *leaders_, *profiler_, cfg.esteem);
+      break;
+  }
+  l2_.set_listener(policy_.get());
+  engine_ = std::make_unique<edram::RefreshEngine>(
+      *policy_, &banks_, static_cast<double>(cfg.retention_cycles()));
+  engine_->sync_bank_load(0);
+}
+
+cycle_t MemorySystem::l2_access(block_t block, bool is_store, cycle_t now, bool demand) {
+  engine_->advance(now);
+  const std::uint32_t set = l2_.set_index_of(block);
+  if (profiler_) profiler_->record_access(set);
+  const cycle_t bank_wait = banks_.access(set, now);
+
+  const cache::AccessOutcome out = l2_.access(block, is_store, now);
+  cycle_t latency = cfg_.l2.latency_cycles + bank_wait;
+
+  if (out.hit) {
+    // Leader-set hits feed the ATD histograms. Writeback accesses are
+    // profiled too: they carry the same recency information and enrich the
+    // per-interval sample count.
+    if (profiler_) profiler_->record_hit(set, out.lru_pos);
+    if (demand) ++stats_.demand_l2_hits;
+  } else {
+    if (demand) {
+      ++stats_.demand_l2_misses;
+      // The fill is fetched from main memory after the L2 lookup resolves.
+      latency += mm_.read(now + latency);
+    }
+    // A writeback that misses L2 allocates without a memory fetch: the whole
+    // line is being written.
+  }
+
+  if (out.victim != kInvalidBlock) {
+    // Evicted L2 lines: dirty ones are written back to memory; all are
+    // back-invalidated from the L1s to preserve inclusion.
+    if (out.victim_dirty) {
+      mm_.write(now + latency);
+      ++stats_.mm_writebacks;
+    }
+    for (auto& l1 : l1_) l1.invalidate(out.victim, now);
+  }
+  return latency;
+}
+
+cycle_t MemorySystem::access(std::uint32_t core, block_t block, bool is_store,
+                             cycle_t now) {
+  cache::SetAssocCache& l1 = l1_[core];
+  const cache::AccessOutcome out = l1.access(block, is_store, now);
+  cycle_t latency = cfg_.l1.latency_cycles;
+  if (!out.hit) {
+    // Demand fill from L2 (loads and store-allocates alike read the line;
+    // dirtiness lives in L1 until the line is evicted).
+    latency += l2_access(block, /*is_store=*/false, now + latency, /*demand=*/true);
+    if (out.victim != kInvalidBlock && out.victim_dirty) {
+      // Posted writeback of the L1 victim into L2; does not stall the core.
+      ++stats_.l2_writeback_accesses;
+      (void)l2_access(out.victim, /*is_store=*/true, now + latency, /*demand=*/false);
+    }
+  }
+  return latency;
+}
+
+void MemorySystem::tick_interval(cycle_t now) {
+  engine_->advance(now);
+
+  // Close the F_A integral over the elapsed window at the old value.
+  fa_cycles_ += fa_current_ * static_cast<double>(now - fa_last_update_);
+  fa_last_update_ = now;
+
+  if (controller_) {
+    const core::ReconfigResult r =
+        controller_->run_interval(now, [&](block_t) { mm_.write(now); });
+    stats_.reconfig_transitions += r.transitions;
+    stats_.reconfig_writebacks += r.writebacks;
+    stats_.mm_writebacks += r.writebacks;
+    fa_current_ = controller_->active_fraction();
+  } else if (decay_ != nullptr) {
+    // Reconcile decay's power gating with the energy counters: dirty lines
+    // it flushed become posted memory writes, its gate toggles are N_L, and
+    // F_A follows the powered fraction of the array.
+    const std::uint64_t wb = decay_->decay_writebacks();
+    for (std::uint64_t i = decay_wb_seen_; i < wb; ++i) mm_.write(now);
+    stats_.mm_writebacks += wb - decay_wb_seen_;
+    stats_.reconfig_writebacks += wb - decay_wb_seen_;
+    decay_wb_seen_ = wb;
+    const std::uint64_t trans = decay_->transitions();
+    stats_.reconfig_transitions += trans - decay_trans_seen_;
+    decay_trans_seen_ = trans;
+    fa_current_ = decay_->active_fraction();
+  }
+
+  // Valid/active footprint changed: re-derive the bank refresh load.
+  engine_->sync_bank_load(now);
+}
+
+void MemorySystem::reset_measurement(cycle_t now) {
+  engine_->advance(now);
+  l2_.reset_stats();
+  for (auto& l1 : l1_) l1.reset_stats();
+  mm_.reset_stats();
+  stats_ = {};
+  refresh_baseline_ = engine_->total_refreshes();
+  engine_->reset_window();
+  fa_cycles_ = 0.0;
+  fa_last_update_ = now;
+  measure_start_ = now;
+  if (profiler_) profiler_->clear();
+  if (decay_ != nullptr) {
+    // Consume warm-up decay events so they are not charged to measurement.
+    decay_wb_seen_ = decay_->decay_writebacks();
+    decay_trans_seen_ = decay_->transitions();
+    fa_current_ = decay_->active_fraction();
+  }
+}
+
+void MemorySystem::finish(cycle_t now) {
+  engine_->advance(now);
+  fa_cycles_ += fa_current_ * static_cast<double>(now - fa_last_update_);
+  fa_last_update_ = now;
+}
+
+energy::EnergyCounters MemorySystem::energy_counters(cycle_t now) const {
+  const double to_seconds = 1.0 / (cfg_.freq_ghz * 1e9);
+  energy::EnergyCounters c;
+  c.seconds = static_cast<double>(now - measure_start_) * to_seconds;
+  // F_A integral: closed portion plus the still-open window at the current value.
+  c.fa_seconds = (fa_cycles_ + fa_current_ * static_cast<double>(now - fa_last_update_)) *
+                 to_seconds;
+  c.l2_hits = l2_.stats().hits;
+  c.l2_misses = l2_.stats().misses;
+  c.refreshes = refreshes();
+  c.mm_accesses = mm_.stats().reads + mm_.stats().writes;
+  c.transitions = stats_.reconfig_transitions;
+  return c;
+}
+
+double MemorySystem::active_fraction() const noexcept {
+  if (controller_) return controller_->active_fraction();
+  if (decay_ != nullptr) return decay_->active_fraction();
+  return 1.0;
+}
+
+std::vector<std::uint32_t> MemorySystem::module_active_ways() const {
+  return controller_ ? controller_->module_active_ways() : std::vector<std::uint32_t>{};
+}
+
+}  // namespace esteem::cpu

@@ -1,0 +1,115 @@
+// The full memory hierarchy: private L1s, the shared banked eDRAM L2 with a
+// pluggable refresh technique, and main memory. This is the component the
+// in-order cores issue loads/stores against.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cache/bank.hpp"
+#include "cache/cache.hpp"
+#include "cache/module_map.hpp"
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "core/controller.hpp"
+#include "cpu/technique.hpp"
+#include "edram/decay.hpp"
+#include "edram/refresh_engine.hpp"
+#include "edram/refresh_policy.hpp"
+#include "energy/energy_model.hpp"
+#include "mem/main_memory.hpp"
+#include "profiler/atd.hpp"
+#include "profiler/leader_sets.hpp"
+
+namespace esteem::cpu {
+
+struct MemorySystemStats {
+  std::uint64_t demand_l2_hits = 0;
+  std::uint64_t demand_l2_misses = 0;
+  std::uint64_t l2_writeback_accesses = 0;  ///< L1 dirty victims written to L2.
+  std::uint64_t mm_writebacks = 0;          ///< L2 dirty victims + flushes.
+  std::uint64_t reconfig_transitions = 0;   ///< N_L
+  std::uint64_t reconfig_writebacks = 0;
+};
+
+class MemorySystem {
+ public:
+  MemorySystem(const SystemConfig& cfg, Technique technique);
+
+  /// One load/store by `core`; returns its latency in cycles.
+  cycle_t access(std::uint32_t core, block_t block, bool is_store, cycle_t now);
+
+  /// Interval boundary: pump refresh, run ESTEEM's algorithm, re-derive the
+  /// bank refresh load, and integrate F_A over the elapsed window.
+  void tick_interval(cycle_t now);
+
+  /// Final bookkeeping at end of simulation (closes the F_A integral and
+  /// pumps refresh events up to `now`).
+  void finish(cycle_t now);
+
+  /// Ends the warm-up phase: zeroes every measurement counter (cache/memory
+  /// stats, refresh totals, F_A integral, reconfiguration counts) while
+  /// keeping the warmed cache contents and timing state. Mirrors the
+  /// paper's fast-forward-then-measure methodology (§6.4).
+  void reset_measurement(cycle_t now);
+
+  /// Energy counters accumulated so far (Eq. 2-8 inputs). `freq_ghz` is
+  /// needed to convert cycles to seconds.
+  energy::EnergyCounters energy_counters(cycle_t now) const;
+
+  const MemorySystemStats& stats() const noexcept { return stats_; }
+  const mem::MainMemoryStats& mm_stats() const noexcept { return mm_.stats(); }
+  const cache::CacheStats& l2_stats() const noexcept { return l2_.stats(); }
+
+  std::uint64_t refreshes() const noexcept {
+    return engine_->total_refreshes() - refresh_baseline_;
+  }
+
+  /// Current F_A (1.0 for non-ESTEEM techniques).
+  double active_fraction() const noexcept;
+
+  /// Per-module active way counts (for the Figure 2 timeline); empty for
+  /// non-ESTEEM techniques.
+  std::vector<std::uint32_t> module_active_ways() const;
+
+  Technique technique() const noexcept { return technique_; }
+  cache::SetAssocCache& l2() noexcept { return l2_; }
+
+ private:
+  cycle_t l2_access(block_t block, bool is_store, cycle_t now, bool demand);
+
+  SystemConfig cfg_;
+  Technique technique_;
+
+  std::vector<cache::SetAssocCache> l1_;
+  cache::SetAssocCache l2_;
+  cache::BankGroup banks_;
+  cache::ModuleMap modules_;
+  mem::MainMemory mm_;
+
+  std::unique_ptr<edram::RefreshPolicy> policy_;
+  std::unique_ptr<edram::RefreshEngine> engine_;
+
+  // CacheDecay-only bookkeeping (view into policy_ when active).
+  edram::CacheDecayPolicy* decay_ = nullptr;
+  std::uint64_t decay_wb_seen_ = 0;
+  std::uint64_t decay_trans_seen_ = 0;
+
+  // ESTEEM-only machinery.
+  std::unique_ptr<profiler::LeaderSets> leaders_;
+  std::unique_ptr<profiler::ModuleProfiler> profiler_;
+  std::unique_ptr<core::EsteemController> controller_;
+
+  MemorySystemStats stats_;
+
+  // Time-weighted F_A integral (in cycles).
+  double fa_cycles_ = 0.0;
+  cycle_t fa_last_update_ = 0;
+  double fa_current_ = 1.0;
+  cycle_t measure_start_ = 0;  ///< Cycle at which measurement began.
+  std::uint64_t refresh_baseline_ = 0;  ///< Refreshes before measurement.
+};
+
+}  // namespace esteem::cpu

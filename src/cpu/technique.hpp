@@ -1,0 +1,46 @@
+// The refresh/energy-management techniques the simulator can run.
+#pragma once
+
+#include <string_view>
+
+namespace esteem::cpu {
+
+enum class Technique {
+  /// Paper baseline: refresh every line each retention period; cache fully on.
+  BaselinePeriodicAll,
+  /// Refrint "periodic-valid": refresh only valid lines (extension; the
+  /// paper cites it as inferior to RPV and does not evaluate it).
+  PeriodicValid,
+  /// Refrint polyphase-valid — the paper's comparison technique (§6.2).
+  RefrintRPV,
+  /// Refrint polyphase-dirty (extension; evaluated in the ablation bench).
+  RefrintRPD,
+  /// Smart-Refresh: per-line timestamps skip refreshes of recently touched
+  /// lines (paper §2 related work; extension).
+  SmartRefresh,
+  /// ECC-assisted refresh-interval extension (paper §2 related work;
+  /// extension). The ECC storage overhead is charged in the energy model.
+  EccExtended,
+  /// Cache Decay: per-line idle counters power-gate dead lines (paper §2
+  /// related work [22]; extension). Block-granularity alternative to
+  /// ESTEEM's way-granularity reconfiguration.
+  CacheDecay,
+  /// ESTEEM: dynamic selective-ways reconfiguration + valid-only refresh.
+  Esteem,
+};
+
+constexpr std::string_view to_string(Technique t) {
+  switch (t) {
+    case Technique::BaselinePeriodicAll: return "baseline";
+    case Technique::PeriodicValid: return "periodic-valid";
+    case Technique::RefrintRPV: return "rpv";
+    case Technique::RefrintRPD: return "rpd";
+    case Technique::SmartRefresh: return "smart-refresh";
+    case Technique::EccExtended: return "ecc-extended";
+    case Technique::CacheDecay: return "cache-decay";
+    case Technique::Esteem: return "esteem";
+  }
+  return "?";
+}
+
+}  // namespace esteem::cpu

@@ -1,0 +1,90 @@
+#include "edram/ecc.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace esteem::edram {
+
+namespace {
+/// Standard normal CDF.
+double phi(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+}  // namespace
+
+double cell_failure_probability(double extension, const CellRetentionModel& model) {
+  if (extension <= 0.0) throw std::invalid_argument("ecc: extension must be positive");
+  if (model.median_multiple <= 0.0 || model.sigma <= 0.0) {
+    throw std::invalid_argument("ecc: invalid retention model");
+  }
+  // retention ~ Lognormal(ln(median), sigma); fail iff retention < extension.
+  const double z = (std::log(extension) - std::log(model.median_multiple)) / model.sigma;
+  return phi(z);
+}
+
+double line_failure_probability(std::uint32_t bits_per_line, std::uint32_t correctable,
+                                double extension, const CellRetentionModel& model) {
+  if (bits_per_line == 0) throw std::invalid_argument("ecc: empty line");
+  const double p = cell_failure_probability(extension, model);
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+
+  // P(X > t) for X ~ Binomial(n, p), summed from the small side in log space.
+  const double log_p = std::log(p);
+  const double log_q = std::log1p(-p);
+  double tail_complement = 0.0;  // P(X <= t)
+  double log_coeff = 0.0;        // log C(n, 0)
+  const double n = bits_per_line;
+  for (std::uint32_t k = 0; k <= correctable; ++k) {
+    if (k > 0) log_coeff += std::log((n - k + 1) / static_cast<double>(k));
+    tail_complement += std::exp(log_coeff + k * log_p + (n - k) * log_q);
+  }
+  return std::max(0.0, 1.0 - std::min(1.0, tail_complement));
+}
+
+std::uint32_t max_safe_extension(std::uint32_t bits_per_line, std::uint32_t correctable,
+                                 double target, const CellRetentionModel& model,
+                                 std::uint32_t limit) {
+  std::uint32_t best = 1;
+  for (std::uint32_t ext = 2; ext <= limit; ++ext) {
+    if (line_failure_probability(bits_per_line, correctable, ext, model) <= target) {
+      best = ext;
+    } else {
+      break;  // failure probability is monotone in the extension
+    }
+  }
+  return best;
+}
+
+double ecc_storage_overhead(std::uint32_t data_bits, std::uint32_t correctable) {
+  if (data_bits == 0) throw std::invalid_argument("ecc: empty line");
+  if (correctable == 0) return 0.0;
+  const double check_bits =
+      correctable * std::ceil(std::log2(static_cast<double>(data_bits)) + 1.0);
+  return check_bits / static_cast<double>(data_bits);
+}
+
+EccRefreshPolicy::EccRefreshPolicy(cycle_t nominal_retention_cycles,
+                                   std::uint32_t extension)
+    : nominal_retention_(nominal_retention_cycles),
+      extension_(extension),
+      next_boundary_(nominal_retention_cycles * extension) {
+  if (nominal_retention_ == 0) throw std::invalid_argument("ecc policy: zero retention");
+  if (extension_ == 0) throw std::invalid_argument("ecc policy: zero extension");
+}
+
+std::uint64_t EccRefreshPolicy::advance(cycle_t now) {
+  std::uint64_t refreshed = 0;
+  const cycle_t period = nominal_retention_ * extension_;
+  while (now >= next_boundary_) {
+    refreshed += valid_;
+    next_boundary_ += period;
+  }
+  return refreshed;
+}
+
+double EccRefreshPolicy::refresh_lines_per_period() const {
+  // Demand normalized to the *nominal* retention period (what the bank load
+  // expects): the extension divides it.
+  return static_cast<double>(valid_) / extension_;
+}
+
+}  // namespace esteem::edram

@@ -1,0 +1,38 @@
+#include "edram/refresh_policy.hpp"
+
+#include <stdexcept>
+
+namespace esteem::edram {
+
+PeriodicAllPolicy::PeriodicAllPolicy(std::uint64_t total_lines, cycle_t retention_cycles)
+    : total_lines_(total_lines), retention_(retention_cycles), next_boundary_(retention_cycles) {
+  if (retention_ == 0) throw std::invalid_argument("PeriodicAllPolicy: zero retention");
+}
+
+std::uint64_t PeriodicAllPolicy::advance(cycle_t now) {
+  std::uint64_t refreshed = 0;
+  if (now >= next_boundary_) {
+    const cycle_t periods = (now - next_boundary_) / retention_ + 1;
+    refreshed = periods * total_lines_;
+    next_boundary_ += periods * retention_;
+  }
+  return refreshed;
+}
+
+PeriodicValidPolicy::PeriodicValidPolicy(cycle_t retention_cycles)
+    : retention_(retention_cycles), next_boundary_(retention_cycles) {
+  if (retention_ == 0) throw std::invalid_argument("PeriodicValidPolicy: zero retention");
+}
+
+std::uint64_t PeriodicValidPolicy::advance(cycle_t now) {
+  // advance() is called before every cache mutation, so `valid_` is exact at
+  // each boundary we process here.
+  std::uint64_t refreshed = 0;
+  while (now >= next_boundary_) {
+    refreshed += valid_;
+    next_boundary_ += retention_;
+  }
+  return refreshed;
+}
+
+}  // namespace esteem::edram

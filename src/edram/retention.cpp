@@ -1,0 +1,18 @@
+#include "edram/retention.hpp"
+
+#include <cmath>
+
+namespace esteem::edram {
+
+namespace {
+// r(T) = A * exp(-k * T), fit through (60 C, 50 us) and (105 C, 40 us):
+//   k = ln(50/40) / (105 - 60), A = 50 * exp(k * 60).
+const double kDecay = std::log(50.0 / 40.0) / 45.0;
+const double kScale = 50.0 * std::exp(kDecay * 60.0);
+}  // namespace
+
+double retention_us_at(double temperature_c) {
+  return kScale * std::exp(-kDecay * temperature_c);
+}
+
+}  // namespace esteem::edram

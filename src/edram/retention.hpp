@@ -1,0 +1,18 @@
+// eDRAM retention-period model.
+//
+// Retention depends exponentially on temperature (paper §6.1, citing
+// Agrawal et al.). We calibrate the exponential on the two operating points
+// the paper uses: 40 us at 105 C (Barth et al.) and 50 us at 60 C (the
+// paper's assumed working temperature).
+#pragma once
+
+namespace esteem::edram {
+
+/// Retention period in microseconds at the given cell temperature (Celsius).
+double retention_us_at(double temperature_c);
+
+/// The paper's two evaluation points.
+inline constexpr double kRetentionDefaultUs = 50.0;  // 60 C (§7.2)
+inline constexpr double kRetentionReducedUs = 40.0;  // 105 C point (§7.3)
+
+}  // namespace esteem::edram

@@ -1,0 +1,68 @@
+#include "energy/cacti_table.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace esteem::energy {
+
+namespace {
+
+struct Row {
+  double size_mb;
+  double e_dyn_nj;
+  double p_leak_w;
+};
+
+// Paper Table 2 (16-way eDRAM cache, CACTI 5.3, 32 nm).
+constexpr std::array<Row, 5> kTable{{
+    {2.0, 0.186, 0.096},
+    {4.0, 0.212, 0.116},
+    {8.0, 0.282, 0.280},
+    {16.0, 0.370, 0.456},
+    {32.0, 0.467, 1.056},
+}};
+
+}  // namespace
+
+L2EnergyParams l2_energy_params(std::uint64_t cache_size_bytes) {
+  if (cache_size_bytes == 0) {
+    throw std::invalid_argument("l2_energy_params: zero cache size");
+  }
+  const double size_mb = static_cast<double>(cache_size_bytes) / (1024.0 * 1024.0);
+
+  // Exact table hit.
+  for (const Row& r : kTable) {
+    if (size_mb == r.size_mb) return {r.e_dyn_nj, r.p_leak_w};
+  }
+
+  // Geometric interpolation in log2(size): both quantities grow smoothly
+  // and multiplicatively with size in the table.
+  const double x = std::log2(size_mb);
+  auto lerp_log = [x](const Row& a, const Row& b, double Row::*field) {
+    const double xa = std::log2(a.size_mb);
+    const double xb = std::log2(b.size_mb);
+    const double t = (x - xa) / (xb - xa);
+    return std::exp2(std::lerp(std::log2(a.*field), std::log2(b.*field), t));
+  };
+
+  const Row* lo = &kTable.front();
+  const Row* hi = &kTable.back();
+  for (std::size_t i = 0; i + 1 < kTable.size(); ++i) {
+    if (size_mb >= kTable[i].size_mb && size_mb <= kTable[i + 1].size_mb) {
+      lo = &kTable[i];
+      hi = &kTable[i + 1];
+      break;
+    }
+  }
+  if (size_mb < kTable.front().size_mb) {
+    lo = &kTable[0];
+    hi = &kTable[1];
+  } else if (size_mb > kTable.back().size_mb) {
+    lo = &kTable[kTable.size() - 2];
+    hi = &kTable[kTable.size() - 1];
+  }
+  return {lerp_log(*lo, *hi, &Row::e_dyn_nj), lerp_log(*lo, *hi, &Row::p_leak_w)};
+}
+
+}  // namespace esteem::energy

@@ -1,0 +1,25 @@
+// eDRAM L2 energy parameters (paper Table 2, obtained by the authors from
+// CACTI 5.3 at 32 nm for a 16-way eDRAM cache), plus log-space interpolation
+// for cache sizes between/outside the tabulated points.
+#pragma once
+
+#include <cstdint>
+
+namespace esteem::energy {
+
+struct L2EnergyParams {
+  double e_dyn_nj_per_access = 0.0;  ///< E_dyn^L2 (nJ/access)
+  double p_leak_watts = 0.0;         ///< P_leak^L2 (W)
+};
+
+/// Returns Table 2 values for the given cache size. Exact at the tabulated
+/// sizes {2,4,8,16,32} MB; geometric interpolation/extrapolation in
+/// log2(size) elsewhere. Throws std::invalid_argument for size 0.
+L2EnergyParams l2_energy_params(std::uint64_t cache_size_bytes);
+
+/// Constants from §6.3 (refs [23,29,46] and [29,30]).
+inline constexpr double kMmDynNjPerAccess = 70.0;  ///< E_dyn^MM
+inline constexpr double kMmLeakWatts = 0.18;       ///< P_leak^MM
+inline constexpr double kEChiNj = 0.002;           ///< E_chi = 2 pJ per block transition
+
+}  // namespace esteem::energy

@@ -1,0 +1,26 @@
+#include "mem/main_memory.hpp"
+
+#include <algorithm>
+
+namespace esteem::mem {
+
+cycle_t MainMemory::occupy_channel(cycle_t now) {
+  const double t = static_cast<double>(now);
+  const double wait = std::max(0.0, channel_free_at_ - t);
+  channel_free_at_ = std::max(channel_free_at_, t) + cfg_.service_cycles;
+  return static_cast<cycle_t>(wait);
+}
+
+cycle_t MainMemory::read(cycle_t now) {
+  const cycle_t wait = occupy_channel(now);
+  ++stats_.reads;
+  stats_.queue_wait_cycles += wait;
+  return cfg_.latency_cycles + wait;
+}
+
+void MainMemory::write(cycle_t now) {
+  (void)occupy_channel(now);
+  ++stats_.writes;
+}
+
+}  // namespace esteem::mem

@@ -1,0 +1,52 @@
+// Main-memory timing model: fixed access latency plus a single-channel
+// bandwidth queue, as in the paper's setup (220 cycles, 10/15 GB/s, with
+// "memory queue contention also modeled", §6.1).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace esteem::mem {
+
+struct MainMemoryConfig {
+  std::uint32_t latency_cycles = 220;
+  /// Channel occupancy of one line transfer, in cycles (line_bytes / BW).
+  double service_cycles = 12.8;
+};
+
+struct MainMemoryStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t queue_wait_cycles = 0;  ///< Total cycles reads waited in queue.
+
+  std::uint64_t accesses() const noexcept { return reads + writes; }
+};
+
+/// Single-channel DRAM model. Reads return their completion latency (base
+/// latency + queue wait); writebacks occupy channel bandwidth but do not
+/// stall the requesting core.
+class MainMemory {
+ public:
+  explicit MainMemory(const MainMemoryConfig& cfg) : cfg_(cfg) {}
+
+  /// Demand read (cache-line fill). Returns total latency in cycles.
+  cycle_t read(cycle_t now);
+
+  /// Posted write (dirty-line writeback). Consumes bandwidth only.
+  void write(cycle_t now);
+
+  const MainMemoryStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+ private:
+  /// Advances the channel clock by one service slot starting no earlier
+  /// than `now`; returns the queue wait experienced.
+  cycle_t occupy_channel(cycle_t now);
+
+  MainMemoryConfig cfg_;
+  MainMemoryStats stats_;
+  double channel_free_at_ = 0.0;  // fractional service times accumulate
+};
+
+}  // namespace esteem::mem

@@ -1,0 +1,40 @@
+#include "profiler/leader_sets.hpp"
+
+#include <stdexcept>
+
+namespace esteem::profiler {
+
+LeaderSets::LeaderSets(std::uint32_t sets, std::uint32_t sampling_ratio,
+                       const cache::ModuleMap& modules)
+    : ratio_(sampling_ratio) {
+  if (sets == 0 || sampling_ratio == 0) {
+    throw std::invalid_argument("LeaderSets: sets and ratio must be >= 1");
+  }
+  leader_.assign(sets, 0);
+  per_module_.assign(modules.modules(), 0);
+
+  // Staggered diagonal: within the r-th group of R_s sets, pick offset
+  // (r * 7) % R_s. The odd stride decorrelates leaders from power-of-two
+  // address strides.
+  for (std::uint32_t set = 0; set < sets; ++set) {
+    const std::uint32_t group = set / ratio_;
+    const std::uint32_t offset = (group * 7u) % ratio_;
+    if (set % ratio_ == offset) {
+      leader_[set] = 1;
+      ++count_;
+      ++per_module_[modules.module_of(set)];
+    }
+  }
+
+  // Guarantee >= 1 leader per module (possible gap when sets/module < R_s).
+  for (std::uint32_t m = 0; m < modules.modules(); ++m) {
+    if (per_module_[m] == 0) {
+      const std::uint32_t set = modules.first_set(m);
+      leader_[set] = 1;
+      ++count_;
+      ++per_module_[m];
+    }
+  }
+}
+
+}  // namespace esteem::profiler

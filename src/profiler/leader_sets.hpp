@@ -1,0 +1,34 @@
+// Leader-set selection for set-sampled profiling (paper §3.2).
+//
+// One set per R_s sets is a "leader": it never undergoes reconfiguration and
+// its hits feed the per-module LRU-position histograms (the ATD embedded in
+// the L2's main tag directory). Leaders are staggered across set-index
+// space, and every module is guaranteed at least one leader so Algorithm 1
+// always has data for each module.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/module_map.hpp"
+
+namespace esteem::profiler {
+
+class LeaderSets {
+ public:
+  LeaderSets(std::uint32_t sets, std::uint32_t sampling_ratio,
+             const cache::ModuleMap& modules);
+
+  bool is_leader(std::uint32_t set) const noexcept { return leader_[set] != 0; }
+  std::uint32_t count() const noexcept { return count_; }
+  std::uint32_t sampling_ratio() const noexcept { return ratio_; }
+  std::uint32_t leaders_in_module(std::uint32_t m) const { return per_module_[m]; }
+
+ private:
+  std::uint32_t ratio_;
+  std::uint32_t count_ = 0;
+  std::vector<std::uint8_t> leader_;
+  std::vector<std::uint32_t> per_module_;
+};
+
+}  // namespace esteem::profiler

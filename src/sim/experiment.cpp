@@ -1,0 +1,65 @@
+#include "sim/experiment.hpp"
+
+#include "edram/ecc.hpp"
+#include "energy/cacti_table.hpp"
+#include "sim/metrics.hpp"
+
+namespace esteem::sim {
+
+RunOutcome run_experiment(const RunSpec& spec) {
+  cpu::System system(spec.config, spec.technique, spec.workload.benchmarks, spec.seed);
+
+  cpu::RunOptions options;
+  options.instr_per_core = spec.instr_per_core;
+  options.warmup_instr_per_core = spec.warmup_instr_per_core;
+  options.record_timeline = spec.record_timeline;
+  options.seed = spec.seed;
+
+  RunOutcome outcome;
+  outcome.raw = system.run(options);
+
+  energy::EnergyModelParams params;
+  params.l2 = energy::l2_energy_params(spec.config.l2.geom.size_bytes);
+  if (spec.technique == Technique::EccExtended) {
+    // ECC check bits enlarge the array: leakage and per-access energy grow
+    // by the storage overhead.
+    const double overhead = edram::ecc_storage_overhead(
+        spec.config.l2.geom.line_bytes * 8, spec.config.edram.ecc_correctable);
+    params.l2.p_leak_watts *= 1.0 + overhead;
+    params.l2.e_dyn_nj_per_access *= 1.0 + overhead;
+  }
+  outcome.energy = energy::compute_energy(params, outcome.raw.counters);
+  return outcome;
+}
+
+TechniqueComparison compare(const std::string& workload, Technique technique,
+                            const RunOutcome& baseline, const RunOutcome& tech) {
+  TechniqueComparison c;
+  c.workload = workload;
+  c.technique = technique;
+  c.energy_saving_pct = energy::percent_energy_saving(baseline.energy, tech.energy);
+  c.weighted_speedup = weighted_speedup(baseline.raw.ipc, tech.raw.ipc);
+  c.fair_speedup = fair_speedup(baseline.raw.ipc, tech.raw.ipc);
+
+  const instr_t instr = baseline.raw.total_instructions;
+  c.rpki_base = per_kilo_instructions(baseline.raw.refreshes, instr);
+  c.rpki_tech = per_kilo_instructions(tech.raw.refreshes, instr);
+  c.rpki_decrease = c.rpki_base - c.rpki_tech;
+  c.mpki_base = per_kilo_instructions(baseline.raw.demand_misses, instr);
+  c.mpki_tech = per_kilo_instructions(tech.raw.demand_misses, instr);
+  c.mpki_increase = c.mpki_tech - c.mpki_base;
+  c.active_ratio_pct = 100.0 * tech.raw.avg_active_ratio;
+  return c;
+}
+
+TechniqueComparison run_and_compare(const RunSpec& technique_spec) {
+  RunSpec base_spec = technique_spec;
+  base_spec.technique = Technique::BaselinePeriodicAll;
+  base_spec.record_timeline = false;
+
+  const RunOutcome base = run_experiment(base_spec);
+  const RunOutcome tech = run_experiment(technique_spec);
+  return compare(technique_spec.workload.name, technique_spec.technique, base, tech);
+}
+
+}  // namespace esteem::sim

@@ -1,0 +1,59 @@
+// Experiment layer: runs one (workload, technique) simulation and computes
+// the paper's comparison metrics against a paired baseline run (same
+// workload, same seed, baseline technique).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "cpu/system.hpp"
+#include "energy/energy_model.hpp"
+#include "sim/technique.hpp"
+#include "trace/workloads.hpp"
+
+namespace esteem::sim {
+
+struct RunSpec {
+  SystemConfig config;
+  Technique technique = Technique::BaselinePeriodicAll;
+  trace::Workload workload;
+  std::uint64_t seed = 42;
+  instr_t instr_per_core = 8'000'000;
+  /// Cache warm-up before measurement (paper: 10B-instruction fast-forward).
+  instr_t warmup_instr_per_core = 0;
+  bool record_timeline = false;
+};
+
+struct RunOutcome {
+  cpu::RawRunResult raw;
+  energy::EnergyBreakdown energy;
+};
+
+/// Builds a System, runs it, evaluates the energy model.
+RunOutcome run_experiment(const RunSpec& spec);
+
+/// Paper metrics for one technique vs. the paired baseline run (§6.4).
+struct TechniqueComparison {
+  std::string workload;
+  Technique technique = Technique::Esteem;
+  double energy_saving_pct = 0.0;  ///< Metric 1.
+  double weighted_speedup = 1.0;   ///< Metric 2 (Eq. 9).
+  double fair_speedup = 1.0;
+  double rpki_base = 0.0;
+  double rpki_tech = 0.0;
+  double rpki_decrease = 0.0;      ///< Metric 3 (absolute).
+  double mpki_base = 0.0;
+  double mpki_tech = 0.0;
+  double mpki_increase = 0.0;      ///< ESTEEM metric (absolute).
+  double active_ratio_pct = 100.0; ///< ESTEEM metric (time-weighted F_A).
+};
+
+TechniqueComparison compare(const std::string& workload, Technique technique,
+                            const RunOutcome& baseline, const RunOutcome& tech);
+
+/// Runs baseline + technique with paired seeds and compares.
+TechniqueComparison run_and_compare(const RunSpec& technique_spec);
+
+}  // namespace esteem::sim

@@ -1,0 +1,41 @@
+#include "sim/metrics.hpp"
+
+#include <stdexcept>
+
+namespace esteem::sim {
+
+namespace {
+void check_sizes(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("speedup: per-core IPC vectors must match and be nonempty");
+  }
+}
+}  // namespace
+
+double weighted_speedup(std::span<const double> ipc_base,
+                        std::span<const double> ipc_tech) {
+  check_sizes(ipc_base, ipc_tech);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < ipc_base.size(); ++i) {
+    if (ipc_base[i] <= 0.0) throw std::invalid_argument("speedup: nonpositive base IPC");
+    sum += ipc_tech[i] / ipc_base[i];
+  }
+  return sum / static_cast<double>(ipc_base.size());
+}
+
+double fair_speedup(std::span<const double> ipc_base, std::span<const double> ipc_tech) {
+  check_sizes(ipc_base, ipc_tech);
+  double denom = 0.0;
+  for (std::size_t i = 0; i < ipc_base.size(); ++i) {
+    if (ipc_tech[i] <= 0.0) throw std::invalid_argument("speedup: nonpositive tech IPC");
+    denom += ipc_base[i] / ipc_tech[i];
+  }
+  return static_cast<double>(ipc_base.size()) / denom;
+}
+
+double per_kilo_instructions(std::uint64_t events, std::uint64_t instructions) {
+  if (instructions == 0) return 0.0;
+  return 1000.0 * static_cast<double>(events) / static_cast<double>(instructions);
+}
+
+}  // namespace esteem::sim

@@ -1,0 +1,20 @@
+// Evaluation metrics from paper §6.4.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace esteem::sim {
+
+/// Weighted speedup (Eq. 9): mean over cores of IPC_tech / IPC_base.
+double weighted_speedup(std::span<const double> ipc_base,
+                        std::span<const double> ipc_tech);
+
+/// Fair speedup: harmonic mean over cores of IPC_tech / IPC_base (§6.4
+/// mentions it tracks weighted speedup closely; we report it in benches).
+double fair_speedup(std::span<const double> ipc_base, std::span<const double> ipc_tech);
+
+/// Events per kilo-instruction (used for both MPKI and RPKI).
+double per_kilo_instructions(std::uint64_t events, std::uint64_t instructions);
+
+}  // namespace esteem::sim

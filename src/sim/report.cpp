@@ -1,0 +1,71 @@
+#include "sim/report.hpp"
+
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+namespace esteem::sim {
+
+std::string figure_report(const SweepResult& result, const std::string& title) {
+  TextTable table;
+  std::vector<std::string> header{"workload"};
+  for (Technique t : result.techniques) {
+    const std::string n{to_string(t)};
+    header.push_back(n + ":energy%");
+    header.push_back(n + ":WS");
+    header.push_back(n + ":RPKIdec");
+    if (t == Technique::Esteem) {
+      header.push_back(n + ":MPKIinc");
+      header.push_back(n + ":active%");
+    }
+  }
+  table.set_header(std::move(header));
+
+  auto emit = [&](const WorkloadRow& row) {
+    std::vector<std::string> cells{row.workload};
+    for (std::size_t i = 0; i < result.techniques.size(); ++i) {
+      const TechniqueComparison& c = row.comparisons[i];
+      cells.push_back(fmt(c.energy_saving_pct, 2));
+      cells.push_back(fmt(c.weighted_speedup, 3));
+      cells.push_back(fmt(c.rpki_decrease, 1));
+      if (result.techniques[i] == Technique::Esteem) {
+        cells.push_back(fmt(c.mpki_increase, 3));
+        cells.push_back(fmt(c.active_ratio_pct, 1));
+      }
+    }
+    table.add_row(std::move(cells));
+  };
+
+  for (const WorkloadRow& row : result.rows) emit(row);
+
+  WorkloadRow avg;
+  avg.workload = "average";
+  for (Technique t : result.techniques) avg.comparisons.push_back(result.summary(t));
+  table.add_separator();
+  emit(avg);
+
+  std::ostringstream os;
+  os << title << '\n' << table.to_string();
+  return os.str();
+}
+
+std::string table3_row_label(const std::string& label) { return label; }
+
+void write_csv(const SweepResult& result, const std::string& path) {
+  CsvWriter csv(path);
+  csv.write_row({"workload", "technique", "energy_saving_pct", "weighted_speedup",
+                 "fair_speedup", "rpki_base", "rpki_tech", "rpki_decrease", "mpki_base",
+                 "mpki_tech", "mpki_increase", "active_ratio_pct"});
+  for (const WorkloadRow& row : result.rows) {
+    for (const TechniqueComparison& c : row.comparisons) {
+      csv.write_row({row.workload, std::string(to_string(c.technique)),
+                     fmt(c.energy_saving_pct, 4), fmt(c.weighted_speedup, 4),
+                     fmt(c.fair_speedup, 4), fmt(c.rpki_base, 2), fmt(c.rpki_tech, 2),
+                     fmt(c.rpki_decrease, 2), fmt(c.mpki_base, 4), fmt(c.mpki_tech, 4),
+                     fmt(c.mpki_increase, 4), fmt(c.active_ratio_pct, 2)});
+    }
+  }
+}
+
+}  // namespace esteem::sim

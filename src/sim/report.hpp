@@ -1,0 +1,21 @@
+// Paper-style textual reports for sweep results.
+#pragma once
+
+#include <string>
+
+#include "sim/runner.hpp"
+
+namespace esteem::sim {
+
+/// Per-workload figure-style report (Figures 3-6): energy saving, weighted
+/// speedup and RPKI decrease for every technique, plus MPKI increase and
+/// active ratio for ESTEEM. Ends with the average row.
+std::string figure_report(const SweepResult& result, const std::string& title);
+
+/// One Table 3 row: the technique summary for a given configuration label.
+std::string table3_row_label(const std::string& label);
+
+/// Writes the sweep to CSV (one row per workload x technique).
+void write_csv(const SweepResult& result, const std::string& path);
+
+}  // namespace esteem::sim

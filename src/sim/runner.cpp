@@ -1,0 +1,115 @@
+#include "sim/runner.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "common/stats.hpp"
+
+namespace esteem::sim {
+
+namespace {
+
+WorkloadRow evaluate_workload(const SweepSpec& spec, const trace::Workload& workload) {
+  RunSpec base_spec;
+  base_spec.config = spec.config;
+  base_spec.technique = Technique::BaselinePeriodicAll;
+  base_spec.workload = workload;
+  base_spec.seed = spec.seed;
+  base_spec.instr_per_core = spec.instr_per_core;
+  base_spec.warmup_instr_per_core = spec.warmup_instr_per_core;
+
+  const RunOutcome base = run_experiment(base_spec);
+
+  WorkloadRow row;
+  row.workload = workload.name;
+  for (Technique t : spec.techniques) {
+    RunSpec tech_spec = base_spec;
+    tech_spec.technique = t;
+    const RunOutcome tech = run_experiment(tech_spec);
+    row.comparisons.push_back(compare(workload.name, t, base, tech));
+  }
+  return row;
+}
+
+}  // namespace
+
+SweepResult run_sweep(const SweepSpec& spec) {
+  if (spec.workloads.empty()) throw std::invalid_argument("run_sweep: no workloads");
+  for (Technique t : spec.techniques) {
+    if (t == Technique::BaselinePeriodicAll) {
+      throw std::invalid_argument("run_sweep: baseline is implicit; do not list it");
+    }
+  }
+
+  SweepResult result;
+  result.techniques = spec.techniques;
+  result.rows.resize(spec.workloads.size());
+
+  unsigned threads = spec.threads != 0 ? spec.threads : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(spec.workloads.size()));
+
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < spec.workloads.size(); ++i) {
+      result.rows[i] = evaluate_workload(spec, spec.workloads[i]);
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= spec.workloads.size()) return;
+        result.rows[i] = evaluate_workload(spec, spec.workloads[i]);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+  return result;
+}
+
+TechniqueComparison SweepResult::summary(Technique t) const {
+  std::size_t col = techniques.size();
+  for (std::size_t i = 0; i < techniques.size(); ++i) {
+    if (techniques[i] == t) col = i;
+  }
+  if (col == techniques.size()) {
+    throw std::invalid_argument("summary: technique not in sweep");
+  }
+
+  std::vector<double> ws, fs, energy, rpki_base, rpki_tech, rpki_dec, mpki_base,
+      mpki_tech, mpki_inc, active;
+  for (const WorkloadRow& row : rows) {
+    const TechniqueComparison& c = row.comparisons[col];
+    ws.push_back(c.weighted_speedup);
+    fs.push_back(c.fair_speedup);
+    energy.push_back(c.energy_saving_pct);
+    rpki_base.push_back(c.rpki_base);
+    rpki_tech.push_back(c.rpki_tech);
+    rpki_dec.push_back(c.rpki_decrease);
+    mpki_base.push_back(c.mpki_base);
+    mpki_tech.push_back(c.mpki_tech);
+    mpki_inc.push_back(c.mpki_increase);
+    active.push_back(c.active_ratio_pct);
+  }
+
+  TechniqueComparison s;
+  s.workload = "average";
+  s.technique = t;
+  s.energy_saving_pct = mean(energy);
+  s.weighted_speedup = geomean(ws);   // speedups average geometrically (§6.4)
+  s.fair_speedup = geomean(fs);
+  s.rpki_base = mean(rpki_base);
+  s.rpki_tech = mean(rpki_tech);
+  s.rpki_decrease = mean(rpki_dec);
+  s.mpki_base = mean(mpki_base);
+  s.mpki_tech = mean(mpki_tech);
+  s.mpki_increase = mean(mpki_inc);
+  s.active_ratio_pct = mean(active);
+  return s;
+}
+
+}  // namespace esteem::sim

@@ -1,0 +1,44 @@
+// Sweep runner: evaluates a set of techniques over a set of workloads,
+// sharing one baseline run per workload, with optional thread-level
+// parallelism across workloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+#include "sim/experiment.hpp"
+#include "sim/technique.hpp"
+#include "trace/workloads.hpp"
+
+namespace esteem::sim {
+
+struct SweepSpec {
+  SystemConfig config;
+  std::vector<trace::Workload> workloads;
+  /// Techniques to compare against the baseline (do not list the baseline).
+  std::vector<Technique> techniques{Technique::Esteem, Technique::RefrintRPV};
+  std::uint64_t seed = 42;
+  instr_t instr_per_core = 8'000'000;
+  instr_t warmup_instr_per_core = 0;
+  /// 0 = use hardware concurrency.
+  unsigned threads = 0;
+};
+
+struct WorkloadRow {
+  std::string workload;
+  std::vector<TechniqueComparison> comparisons;  ///< One per spec technique.
+};
+
+struct SweepResult {
+  std::vector<Technique> techniques;
+  std::vector<WorkloadRow> rows;
+
+  /// Paper-style averages over workloads for one technique: speedups are
+  /// geometric means; every other metric is an arithmetic mean (§6.4).
+  TechniqueComparison summary(Technique t) const;
+};
+
+SweepResult run_sweep(const SweepSpec& spec);
+
+}  // namespace esteem::sim

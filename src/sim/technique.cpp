@@ -1,0 +1,22 @@
+#include "sim/technique.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace esteem::sim {
+
+std::vector<Technique> all_techniques() {
+  return {Technique::BaselinePeriodicAll, Technique::PeriodicValid,
+          Technique::RefrintRPV,          Technique::RefrintRPD,
+          Technique::SmartRefresh,        Technique::EccExtended,
+          Technique::CacheDecay,          Technique::Esteem};
+}
+
+Technique parse_technique(std::string_view name) {
+  for (Technique t : all_techniques()) {
+    if (to_string(t) == name) return t;
+  }
+  throw std::invalid_argument("unknown technique: " + std::string(name));
+}
+
+}  // namespace esteem::sim

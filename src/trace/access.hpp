@@ -1,0 +1,40 @@
+// Memory-reference record produced by the synthetic trace generators.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace esteem::trace {
+
+/// One memory operation, preceded by `gap` non-memory instructions.
+/// Batching the non-memory instructions into a single count keeps the
+/// simulator's cost proportional to memory operations only.
+struct MemRef {
+  block_t block = 0;        ///< Cache-block number (line granularity).
+  std::uint32_t gap = 0;    ///< Non-memory instructions retired before this op.
+  bool is_store = false;
+};
+
+/// Geometry hints generators need to shape set-level reuse distances.
+struct GeneratorContext {
+  std::uint32_t l2_sets = 4096;
+  std::uint32_t line_bytes = 64;
+};
+
+/// Abstract pull-based stream of block numbers (no gaps/stores; those are
+/// layered on by InstructionMixer).
+class BlockPattern {
+ public:
+  virtual ~BlockPattern() = default;
+  virtual block_t next_block() = 0;
+};
+
+/// Abstract pull-based stream of memory references.
+class AccessGenerator {
+ public:
+  virtual ~AccessGenerator() = default;
+  virtual MemRef next() = 0;
+};
+
+}  // namespace esteem::trace

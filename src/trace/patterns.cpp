@@ -1,0 +1,226 @@
+#include "trace/patterns.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace esteem::trace {
+
+StreamingPattern::StreamingPattern(block_t base, std::uint64_t region_blocks,
+                                   std::uint64_t stride)
+    : base_(base), region_(std::max<std::uint64_t>(1, region_blocks)), stride_(stride) {
+  if (stride_ == 0) throw std::invalid_argument("StreamingPattern: stride must be nonzero");
+}
+
+block_t StreamingPattern::next_block() {
+  const block_t b = base_ + pos_;
+  pos_ += stride_;
+  if (pos_ >= region_) pos_ = 0;
+  return b;
+}
+
+RandomWorkingSetPattern::RandomWorkingSetPattern(block_t base, std::uint64_t ws_blocks,
+                                                 std::uint64_t hot_blocks, double hot_prob,
+                                                 std::uint64_t seed)
+    : base_(base),
+      ws_(std::max<std::uint64_t>(1, ws_blocks)),
+      hot_(std::clamp<std::uint64_t>(hot_blocks, 1, ws_)),
+      hot_prob_(hot_prob),
+      rng_(seed) {}
+
+block_t RandomWorkingSetPattern::next_block() {
+  const std::uint64_t span = rng_.chance(hot_prob_) ? hot_ : ws_;
+  return base_ + rng_.below(span);
+}
+
+NestedWorkingSetPattern::NestedWorkingSetPattern(block_t base, std::uint64_t ws_blocks,
+                                                 std::uint32_t levels, double size_ratio,
+                                                 double weight_ratio, std::uint64_t seed)
+    : base_(base), rng_(seed) {
+  if (levels == 0) throw std::invalid_argument("NestedWorkingSet: levels must be >= 1");
+  if (size_ratio <= 0.0 || size_ratio >= 1.0) {
+    throw std::invalid_argument("NestedWorkingSet: size_ratio must be in (0,1)");
+  }
+  if (weight_ratio <= 0.0) {
+    throw std::invalid_argument("NestedWorkingSet: weight_ratio must be positive");
+  }
+  double size = static_cast<double>(std::max<std::uint64_t>(1, ws_blocks));
+  double weight = 1.0;
+  double acc = 0.0;
+  for (std::uint32_t i = 0; i < levels; ++i) {
+    level_size_.push_back(std::max<std::uint64_t>(1, static_cast<std::uint64_t>(size)));
+    acc += weight;
+    cumulative_.push_back(acc);
+    size *= size_ratio;
+    weight *= weight_ratio;
+  }
+  for (double& c : cumulative_) c /= acc;
+  cumulative_.back() = 1.0;
+}
+
+block_t NestedWorkingSetPattern::next_block() {
+  const double u = rng_.uniform();
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  const std::size_t lvl = std::min<std::size_t>(
+      static_cast<std::size_t>(it - cumulative_.begin()), level_size_.size() - 1);
+  return base_ + rng_.below(level_size_[lvl]);
+}
+
+namespace {
+std::uint64_t ceil_pow2(std::uint64_t v) {
+  std::uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+}  // namespace
+
+PointerChasePattern::PointerChasePattern(block_t base, std::uint64_t ws_blocks,
+                                         std::uint64_t seed)
+    : base_(base), ws_pow2_(ceil_pow2(std::max<std::uint64_t>(2, ws_blocks))) {
+  // Hull-Dobell for modulus 2^k: increment odd, multiplier = 1 (mod 4).
+  std::uint64_t sm = seed;
+  mult_ = (splitmix64(sm) & ~std::uint64_t{3}) | 1;  // = 1 (mod 4)
+  inc_ = splitmix64(sm) | 1;                         // odd
+  cur_ = splitmix64(sm) & (ws_pow2_ - 1);
+}
+
+block_t PointerChasePattern::next_block() {
+  cur_ = (mult_ * cur_ + inc_) & (ws_pow2_ - 1);
+  return base_ + cur_;
+}
+
+MultiScanPattern::MultiScanPattern(block_t base, std::vector<std::uint32_t> depths,
+                                   const GeneratorContext& ctx,
+                                   std::uint64_t sweeps_per_depth,
+                                   std::uint32_t sets_span)
+    : base_(base),
+      depths_(std::move(depths)),
+      total_sets_(ctx.l2_sets),
+      span_(sets_span == 0 ? ctx.l2_sets : std::min(sets_span, ctx.l2_sets)),
+      sweeps_per_depth_(std::max<std::uint64_t>(1, sweeps_per_depth)) {
+  if (depths_.empty()) throw std::invalid_argument("MultiScanPattern: need >= 1 depth");
+  for (auto d : depths_) {
+    if (d == 0) throw std::invalid_argument("MultiScanPattern: depth must be >= 1");
+  }
+}
+
+block_t MultiScanPattern::next_block() {
+  // Walk row-major over a footprint of `depth` lines per set across the
+  // first `span_` sets: block layout keeps the set index = pos % span_ while
+  // distinct rows land in distinct cache lines of the same set.
+  const std::uint64_t region = static_cast<std::uint64_t>(depths_[depth_idx_]) * span_;
+  const block_t b =
+      base_ + (pos_ / span_) * total_sets_ + (pos_ % span_);
+  if (++pos_ >= region) {
+    pos_ = 0;
+    if (++sweep_ >= sweeps_per_depth_) {
+      sweep_ = 0;
+      depth_idx_ = (depth_idx_ + 1) % depths_.size();
+    }
+  }
+  return b;
+}
+
+MixturePattern::MixturePattern(std::vector<std::unique_ptr<BlockPattern>> children,
+                               std::vector<double> weights, std::uint64_t seed)
+    : children_(std::move(children)), rng_(seed) {
+  if (children_.empty() || children_.size() != weights.size()) {
+    throw std::invalid_argument("MixturePattern: children/weights size mismatch");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("MixturePattern: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("MixturePattern: zero total weight");
+  double acc = 0.0;
+  for (double w : weights) {
+    acc += w / total;
+    cumulative_.push_back(acc);
+  }
+  cumulative_.back() = 1.0;  // guard against FP drift
+}
+
+block_t MixturePattern::next_block() {
+  const double u = rng_.uniform();
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  const std::size_t idx =
+      std::min<std::size_t>(static_cast<std::size_t>(it - cumulative_.begin()),
+                            children_.size() - 1);
+  return children_[idx]->next_block();
+}
+
+PhasedPattern::PhasedPattern(std::vector<std::unique_ptr<BlockPattern>> children,
+                             std::uint64_t refs_per_phase)
+    : children_(std::move(children)),
+      refs_per_phase_(std::max<std::uint64_t>(1, refs_per_phase)) {
+  if (children_.empty()) throw std::invalid_argument("PhasedPattern: need >= 1 child");
+}
+
+block_t PhasedPattern::next_block() {
+  const block_t b = children_[active_]->next_block();
+  if (++pos_ >= refs_per_phase_) {
+    pos_ = 0;
+    active_ = (active_ + 1) % children_.size();
+  }
+  return b;
+}
+
+TemporalReusePattern::TemporalReusePattern(std::unique_ptr<BlockPattern> child,
+                                           double reuse_prob, std::uint32_t window,
+                                           std::uint64_t seed)
+    : child_(std::move(child)), reuse_prob_(reuse_prob), ring_(window), rng_(seed) {
+  if (!child_) throw std::invalid_argument("TemporalReuse: null child");
+  if (window == 0) throw std::invalid_argument("TemporalReuse: window must be >= 1");
+  if (reuse_prob_ < 0.0 || reuse_prob_ >= 1.0) {
+    throw std::invalid_argument("TemporalReuse: reuse_prob must be in [0,1)");
+  }
+}
+
+block_t TemporalReusePattern::next_block() {
+  if (filled_ > 0 && rng_.chance(reuse_prob_)) {
+    // Geometric recency bias: halve the candidate range per coin flip.
+    std::uint32_t span = filled_;
+    while (span > 1 && rng_.chance(0.5)) span = (span + 1) / 2;
+    const std::uint32_t back = static_cast<std::uint32_t>(rng_.below(span));
+    const std::uint32_t idx = (head_ + ring_.size() - 1 - back) %
+                              static_cast<std::uint32_t>(ring_.size());
+    return ring_[idx];
+  }
+  const block_t b = child_->next_block();
+  ring_[head_] = b;
+  head_ = (head_ + 1) % static_cast<std::uint32_t>(ring_.size());
+  filled_ = std::min<std::uint32_t>(filled_ + 1, static_cast<std::uint32_t>(ring_.size()));
+  return b;
+}
+
+InstructionMixer::InstructionMixer(std::unique_ptr<BlockPattern> pattern, double mem_ratio,
+                                   double store_ratio, std::uint64_t seed)
+    : pattern_(std::move(pattern)),
+      mem_ratio_(mem_ratio),
+      store_ratio_(store_ratio),
+      rng_(seed) {
+  if (!pattern_) throw std::invalid_argument("InstructionMixer: null pattern");
+  if (mem_ratio_ <= 0.0 || mem_ratio_ > 1.0) {
+    throw std::invalid_argument("InstructionMixer: mem_ratio must be in (0,1]");
+  }
+  if (store_ratio_ < 0.0 || store_ratio_ > 1.0) {
+    throw std::invalid_argument("InstructionMixer: store_ratio must be in [0,1]");
+  }
+}
+
+MemRef InstructionMixer::next() {
+  MemRef ref;
+  ref.block = pattern_->next_block();
+  ref.is_store = rng_.chance(store_ratio_);
+  // Geometric gap with mean 1/mem_ratio - 1 (inversion method). Capped so a
+  // single op can never skip more than a few intervals' worth of work.
+  if (mem_ratio_ < 1.0) {
+    const double u = std::max(rng_.uniform(), 1e-12);
+    const double g = std::floor(std::log(u) / std::log(1.0 - mem_ratio_));
+    ref.gap = static_cast<std::uint32_t>(std::min(g, 1e6));
+  }
+  return ref;
+}
+
+}  // namespace esteem::trace

@@ -1,0 +1,175 @@
+// Synthetic address patterns. Each pattern shapes the L2-set-level reuse
+// distance distribution differently, which is what ESTEEM's LRU-position
+// profiling observes (paper §3.1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "trace/access.hpp"
+
+namespace esteem::trace {
+
+/// Sequential sweep over a region of `region_blocks` blocks starting at
+/// `base`. Models streaming benchmarks (lbm, libquantum, milc, ...): per-set
+/// reuse distance equals region_blocks / sets, so regions much larger than
+/// the cache produce ~100% misses.
+class StreamingPattern final : public BlockPattern {
+ public:
+  StreamingPattern(block_t base, std::uint64_t region_blocks, std::uint64_t stride = 1);
+  block_t next_block() override;
+
+ private:
+  block_t base_;
+  std::uint64_t region_;
+  std::uint64_t stride_;
+  std::uint64_t pos_ = 0;
+};
+
+/// Uniform random accesses over a working set, with an optional hot subset
+/// accessed with higher probability. Produces the classic monotonically
+/// decaying LRU-position hit histogram.
+class RandomWorkingSetPattern final : public BlockPattern {
+ public:
+  RandomWorkingSetPattern(block_t base, std::uint64_t ws_blocks,
+                          std::uint64_t hot_blocks, double hot_prob,
+                          std::uint64_t seed);
+  block_t next_block() override;
+
+ private:
+  block_t base_;
+  std::uint64_t ws_;
+  std::uint64_t hot_;
+  double hot_prob_;
+  Rng rng_;
+};
+
+/// Uniform random accesses over nested working-set levels: level i spans the
+/// innermost `ws * size_ratio^i` blocks and is chosen with probability
+/// proportional to `weight_ratio^i`. This produces the smooth, monotonically
+/// decaying LRU stack-distance curve real applications exhibit (hot data
+/// reused often, colder rings progressively less), which is what makes
+/// alpha-coverage way selection stable (paper §3.1).
+class NestedWorkingSetPattern final : public BlockPattern {
+ public:
+  NestedWorkingSetPattern(block_t base, std::uint64_t ws_blocks, std::uint32_t levels,
+                          double size_ratio, double weight_ratio, std::uint64_t seed);
+  block_t next_block() override;
+
+ private:
+  block_t base_;
+  std::vector<std::uint64_t> level_size_;
+  std::vector<double> cumulative_;
+  Rng rng_;
+};
+
+/// Dependent-chain walk through a pseudo-random permutation of a power-of-two
+/// working set (full-cycle LCG, Hull-Dobell). Models pointer-chasing codes
+/// (mcf): every access has reuse distance == ws, defeating the LRU stack.
+class PointerChasePattern final : public BlockPattern {
+ public:
+  PointerChasePattern(block_t base, std::uint64_t ws_blocks, std::uint64_t seed);
+  block_t next_block() override;
+
+ private:
+  block_t base_;
+  std::uint64_t ws_pow2_;
+  std::uint64_t mult_;
+  std::uint64_t inc_;
+  std::uint64_t cur_;
+};
+
+/// Cyclic sweeps whose footprint is `depth` lines per L2 set: after warm-up,
+/// every access hits at LRU stack position depth-1. Interleaving several
+/// depths yields a multi-modal (non-monotonic) histogram — the "non-LRU"
+/// behaviour the paper attributes to omnetpp/xalancbmk (§3.1).
+class MultiScanPattern final : public BlockPattern {
+ public:
+  /// `sets_span` limits the scan footprint to the first `sets_span` cache
+  /// sets (0 = all sets). A narrower span makes each sweep short enough
+  /// that several depths alternate within one profiling interval.
+  MultiScanPattern(block_t base, std::vector<std::uint32_t> depths,
+                   const GeneratorContext& ctx, std::uint64_t sweeps_per_depth = 2,
+                   std::uint32_t sets_span = 0);
+  block_t next_block() override;
+
+ private:
+  block_t base_;
+  std::vector<std::uint32_t> depths_;
+  std::uint32_t total_sets_;
+  std::uint32_t span_;
+  std::uint64_t sweeps_per_depth_;
+  std::size_t depth_idx_ = 0;
+  std::uint64_t pos_ = 0;
+  std::uint64_t sweep_ = 0;
+};
+
+/// Weighted per-access mixture of child patterns.
+class MixturePattern final : public BlockPattern {
+ public:
+  MixturePattern(std::vector<std::unique_ptr<BlockPattern>> children,
+                 std::vector<double> weights, std::uint64_t seed);
+  block_t next_block() override;
+
+ private:
+  std::vector<std::unique_ptr<BlockPattern>> children_;
+  std::vector<double> cumulative_;
+  Rng rng_;
+};
+
+/// Round-robin phase switcher: runs each child for `refs_per_phase` memory
+/// references before moving to the next. Models phased benchmarks (h264ref,
+/// gcc) whose working set changes over time, exercising ESTEEM's dynamic
+/// reconfiguration (Figure 2).
+class PhasedPattern final : public BlockPattern {
+ public:
+  PhasedPattern(std::vector<std::unique_ptr<BlockPattern>> children,
+                std::uint64_t refs_per_phase);
+  block_t next_block() override;
+
+ private:
+  std::vector<std::unique_ptr<BlockPattern>> children_;
+  std::uint64_t refs_per_phase_;
+  std::uint64_t pos_ = 0;
+  std::size_t active_ = 0;
+};
+
+/// Short-term temporal locality wrapper: with probability `reuse_prob` the
+/// next access re-references one of the last `window` distinct blocks
+/// (geometrically biased toward the most recent); otherwise it pulls a new
+/// block from the child pattern. Real programs re-touch the same lines many
+/// times within a few hundred instructions — this is what gives the L1 its
+/// ~90% hit rate and leaves the L2 only the medium-distance reuse stream.
+class TemporalReusePattern final : public BlockPattern {
+ public:
+  TemporalReusePattern(std::unique_ptr<BlockPattern> child, double reuse_prob,
+                       std::uint32_t window, std::uint64_t seed);
+  block_t next_block() override;
+
+ private:
+  std::unique_ptr<BlockPattern> child_;
+  double reuse_prob_;
+  std::vector<block_t> ring_;
+  std::uint32_t head_ = 0;
+  std::uint32_t filled_ = 0;
+  Rng rng_;
+};
+
+/// Layers instruction gaps (geometric, mean = 1/mem_ratio - 1) and store
+/// flags (Bernoulli store_ratio) onto a block pattern.
+class InstructionMixer final : public AccessGenerator {
+ public:
+  InstructionMixer(std::unique_ptr<BlockPattern> pattern, double mem_ratio,
+                   double store_ratio, std::uint64_t seed);
+  MemRef next() override;
+
+ private:
+  std::unique_ptr<BlockPattern> pattern_;
+  double mem_ratio_;
+  double store_ratio_;
+  Rng rng_;
+};
+
+}  // namespace esteem::trace

@@ -1,0 +1,48 @@
+// Synthetic proxies for the paper's 34 workloads (Table 1): 29 SPEC CPU2006
+// benchmarks plus 5 HPC mini-apps (amg2013, comd, lulesh, nekbone, xsbench).
+//
+// We do not have SPEC inputs or the authors' Sniper traces, so each
+// benchmark is modelled by a profile capturing its published LLC behaviour
+// class: working-set size relative to a 4 MB LLC, memory-operation density,
+// store fraction, streaming/pointer-chase content, phased behaviour, and
+// whether its hit pattern is non-LRU (omnetpp, xalancbmk). See DESIGN.md §1
+// for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "trace/access.hpp"
+
+namespace esteem::trace {
+
+struct BenchmarkProfile {
+  std::string_view name;
+  std::string_view acronym;   ///< Table 1 two-letter code.
+  double mem_ratio;           ///< Memory ops per instruction.
+  double store_ratio;         ///< Stores as a fraction of memory ops.
+  double ws_kb;               ///< Dominant working-set size (KB).
+  double hot_frac;            ///< Hot-subset size as a fraction of ws.
+  double hot_prob;            ///< Probability an access goes to the hot subset.
+  double streaming_frac;      ///< Mixture weight of the streaming component.
+  double chase_frac;          ///< Mixture weight of the pointer-chase component.
+  bool non_lru;               ///< Multi-modal (non-LRU) reuse pattern.
+  std::uint32_t phases;       ///< >1: working set alternates between phases.
+  bool hpc;                   ///< One of the 5 HPC mini-apps.
+};
+
+/// All 34 profiles in Table 1 order.
+std::span<const BenchmarkProfile> all_profiles();
+
+/// Lookup by full name ("h264ref") or acronym ("H2").
+/// Throws std::out_of_range when unknown.
+const BenchmarkProfile& profile_by_name(std::string_view name);
+
+/// Builds the seeded access generator for a profile.
+std::unique_ptr<AccessGenerator> make_generator(const BenchmarkProfile& profile,
+                                                const GeneratorContext& ctx,
+                                                std::uint64_t seed);
+
+}  // namespace esteem::trace

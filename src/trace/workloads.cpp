@@ -1,0 +1,38 @@
+#include "trace/workloads.hpp"
+
+#include "trace/spec_profiles.hpp"
+
+namespace esteem::trace {
+
+std::vector<Workload> single_core_workloads() {
+  std::vector<Workload> out;
+  for (const auto& p : all_profiles()) {
+    out.push_back({std::string(p.acronym), {std::string(p.name)}});
+  }
+  return out;
+}
+
+std::vector<Workload> dual_core_workloads() {
+  // Exactly the 17 pairs listed in Table 1.
+  return {
+      {"GmDl", {"gemsFDTD", "dealII"}},
+      {"AsXb", {"astar", "xsbench"}},
+      {"GcGa", {"gcc", "gamess"}},
+      {"BzXa", {"bzip2", "xalancbmk"}},
+      {"LsLb", {"leslie3d", "lbm"}},
+      {"GkNe", {"gobmk", "nekbone"}},
+      {"OmGr", {"omnetpp", "gromacs"}},
+      {"NdCd", {"namd", "cactusADM"}},
+      {"CaTo", {"calculix", "tonto"}},
+      {"SpBw", {"sphinx", "bwaves"}},
+      {"LqPo", {"libquantum", "povray"}},
+      {"SjWr", {"sjeng", "wrf"}},
+      {"PeZe", {"perlbench", "zeusmp"}},
+      {"HmH2", {"hmmer", "h264ref"}},
+      {"SoMi", {"soplex", "milc"}},
+      {"McLu", {"mcf", "lulesh"}},
+      {"CoAm", {"comd", "amg2013"}},
+  };
+}
+
+}  // namespace esteem::trace

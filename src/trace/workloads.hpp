@@ -1,0 +1,21 @@
+// The paper's workload lists (Table 1): 34 single-core benchmarks and 17
+// dual-core multiprogrammed pairs (each benchmark used exactly once).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace esteem::trace {
+
+struct Workload {
+  std::string name;                     ///< Paper acronym, e.g. "GkNe".
+  std::vector<std::string> benchmarks;  ///< One benchmark name per core.
+};
+
+/// All 34 single-core workloads in Table 1 order.
+std::vector<Workload> single_core_workloads();
+
+/// The 17 dual-core pairs from Table 1.
+std::vector<Workload> dual_core_workloads();
+
+}  // namespace esteem::trace

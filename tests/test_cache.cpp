@@ -1,0 +1,257 @@
+// Unit + property tests for the set-associative cache and module map.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/module_map.hpp"
+#include "common/rng.hpp"
+
+namespace esteem::cache {
+namespace {
+
+// Records every listener callback for verification.
+struct RecordingListener final : LineListener {
+  struct Event {
+    char kind;  // 'F' fill, 'T' touch, 'I' invalidate
+    std::uint32_t set;
+    std::uint32_t way;
+    bool dirty = false;
+  };
+  std::vector<Event> events;
+
+  void on_fill(std::uint32_t set, std::uint32_t way, block_t, cycle_t) override {
+    events.push_back({'F', set, way, false});
+  }
+  void on_touch(std::uint32_t set, std::uint32_t way, cycle_t) override {
+    events.push_back({'T', set, way, false});
+  }
+  void on_invalidate(std::uint32_t set, std::uint32_t way, bool dirty, cycle_t) override {
+    events.push_back({'I', set, way, dirty});
+  }
+};
+
+TEST(Cache, HitAfterFill) {
+  SetAssocCache c({4, 2});
+  EXPECT_FALSE(c.access(0, false, 0).hit);
+  EXPECT_TRUE(c.access(0, false, 1).hit);
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().misses, 1u);
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_FALSE(c.contains(4));  // same set, different block
+}
+
+TEST(Cache, LruEvictionOrder) {
+  SetAssocCache c({1, 2});  // single set, 2 ways
+  c.access(0, false, 0);
+  c.access(1, false, 1);
+  c.access(0, false, 2);  // 0 now MRU, 1 LRU
+  const AccessOutcome out = c.access(2, false, 3);
+  EXPECT_FALSE(out.hit);
+  EXPECT_EQ(out.victim, 1u);  // LRU block evicted
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_FALSE(c.contains(1));
+}
+
+TEST(Cache, LruPositionSemantics) {
+  SetAssocCache c({1, 4});
+  for (block_t b = 0; b < 4; ++b) c.access(b, false, b);
+  // Recency order (MRU..LRU): 3,2,1,0.
+  EXPECT_EQ(c.access(3, false, 10).lru_pos, 0u);  // MRU
+  EXPECT_EQ(c.access(0, false, 11).lru_pos, 3u);  // was LRU
+  // After touching 0 it is MRU; 3 is now position 1.
+  EXPECT_EQ(c.access(3, false, 12).lru_pos, 1u);
+}
+
+TEST(Cache, DirtyVictimReported) {
+  SetAssocCache c({1, 1});
+  c.access(0, true, 0);  // store: dirty
+  const AccessOutcome out = c.access(1, false, 1);
+  EXPECT_EQ(out.victim, 0u);
+  EXPECT_TRUE(out.victim_dirty);
+  EXPECT_EQ(c.stats().dirty_evictions, 1u);
+}
+
+TEST(Cache, StoreHitMarksDirty) {
+  SetAssocCache c({1, 2});
+  c.access(0, false, 0);  // clean fill
+  c.access(0, true, 1);   // store hit dirties it
+  const AccessOutcome out1 = c.access(1, false, 2);
+  EXPECT_FALSE(out1.hit);
+  const AccessOutcome out2 = c.access(2, false, 3);  // evicts block 0 (LRU)
+  EXPECT_EQ(out2.victim, 0u);
+  EXPECT_TRUE(out2.victim_dirty);
+}
+
+TEST(Cache, ValidLinesTracked) {
+  SetAssocCache c({4, 2});
+  EXPECT_EQ(c.valid_lines(), 0u);
+  for (block_t b = 0; b < 8; ++b) c.access(b, false, b);
+  EXPECT_EQ(c.valid_lines(), 8u);
+  c.access(8, false, 100);  // evicts one
+  EXPECT_EQ(c.valid_lines(), 8u);
+  c.invalidate(8, 101);
+  EXPECT_EQ(c.valid_lines(), 7u);
+}
+
+TEST(Cache, InvalidateReturnsDirtiness) {
+  SetAssocCache c({2, 2});
+  c.access(0, true, 0);
+  c.access(1, false, 1);
+  EXPECT_TRUE(c.invalidate(0, 2));
+  EXPECT_FALSE(c.invalidate(1, 3));
+  EXPECT_FALSE(c.invalidate(1, 4));  // already gone
+  EXPECT_FALSE(c.contains(0));
+}
+
+TEST(Cache, InvalidateSlot) {
+  SetAssocCache c({1, 2});
+  c.access(0, true, 0);
+  EXPECT_TRUE(c.slot_valid(0, 0));
+  EXPECT_TRUE(c.invalidate_slot(0, 0, 1));   // dirty
+  EXPECT_FALSE(c.invalidate_slot(0, 0, 2));  // no-op now
+  EXPECT_THROW(c.invalidate_slot(5, 0, 0), std::out_of_range);
+}
+
+TEST(Cache, ResizeSetFlushesDeactivatedWays) {
+  SetAssocCache c({1, 4});
+  c.access(0, true, 0);   // dirty
+  c.access(1, false, 1);  // clean
+  c.access(2, false, 2);
+  c.access(3, false, 3);
+  std::vector<std::pair<block_t, bool>> evicted;
+  c.resize_set(0, 2, [&](block_t b, bool d) { evicted.emplace_back(b, d); });
+  EXPECT_EQ(c.active_ways(0), 2u);
+  EXPECT_EQ(evicted.size(), 2u);
+  EXPECT_EQ(c.valid_lines(), 2u);
+  // Lines in ways [0,2) survive: blocks 0 and 1 were filled there.
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_FALSE(c.contains(3));
+}
+
+TEST(Cache, ShrunkSetUsesOnlyActiveWays) {
+  SetAssocCache c({1, 4});
+  c.resize_set(0, 2, nullptr);
+  for (block_t b = 0; b < 10; ++b) c.access(b, false, b);
+  EXPECT_EQ(c.valid_lines(), 2u);  // only 2 ways available
+  // Re-grow: capacity returns.
+  c.resize_set(0, 4, nullptr);
+  for (block_t b = 0; b < 4; ++b) c.access(100 + b, false, 100 + b);
+  EXPECT_EQ(c.valid_lines(), 4u);
+}
+
+TEST(Cache, ResizeValidation) {
+  SetAssocCache c({2, 2});
+  EXPECT_THROW(c.resize_set(0, 0, nullptr), std::invalid_argument);
+  EXPECT_THROW(c.resize_set(0, 3, nullptr), std::invalid_argument);
+  EXPECT_THROW(c.resize_set(9, 1, nullptr), std::out_of_range);
+}
+
+TEST(Cache, ListenerSeesLifecycle) {
+  SetAssocCache c({1, 1});
+  RecordingListener listener;
+  c.set_listener(&listener);
+  c.access(0, true, 0);   // fill
+  c.access(0, false, 1);  // touch
+  c.access(1, false, 2);  // invalidate (dirty victim) + fill
+  ASSERT_EQ(listener.events.size(), 4u);
+  EXPECT_EQ(listener.events[0].kind, 'F');
+  EXPECT_EQ(listener.events[1].kind, 'T');
+  EXPECT_EQ(listener.events[2].kind, 'I');
+  EXPECT_TRUE(listener.events[2].dirty);
+  EXPECT_EQ(listener.events[3].kind, 'F');
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(SetAssocCache({0, 4}), std::invalid_argument);
+  EXPECT_THROW(SetAssocCache({4, 0}), std::invalid_argument);
+  EXPECT_THROW(SetAssocCache({3, 4}), std::invalid_argument);  // non-pow2 sets
+}
+
+// Property test: the cache agrees with a reference model (map from block to
+// dirty bit with capacity bookkeeping) under random traffic.
+class CacheProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CacheProperty, MatchesReferenceOccupancy) {
+  const std::uint32_t ways = GetParam();
+  const std::uint32_t sets = 16;
+  SetAssocCache c({sets, ways});
+  std::unordered_map<block_t, bool> resident;  // block -> dirty
+  Rng rng(ways * 977 + 1);
+
+  for (int i = 0; i < 20000; ++i) {
+    const block_t blk = rng.below(sets * ways * 4);
+    const bool store = rng.chance(0.3);
+    const bool expected_hit = resident.count(blk) > 0;
+    const AccessOutcome out = c.access(blk, store, i);
+    ASSERT_EQ(out.hit, expected_hit) << "block " << blk << " iter " << i;
+    if (out.victim != kInvalidBlock) {
+      ASSERT_TRUE(resident.count(out.victim));
+      ASSERT_EQ(resident[out.victim], out.victim_dirty);
+      resident.erase(out.victim);
+    }
+    resident[blk] = resident.count(blk) ? (resident[blk] || store) : store;
+    ASSERT_LE(c.valid_lines(), static_cast<std::uint64_t>(sets) * ways);
+    ASSERT_EQ(c.valid_lines(), resident.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Associativities, CacheProperty,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+// LRU stack-inclusion property: running the same stream against a cache
+// with k active ways hits exactly the accesses whose recency position in
+// the fully-associative run is < k. This is the property that makes
+// ESTEEM's LRU-position histogram an exact predictor of hit loss (§3.1).
+class StackInclusion : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(StackInclusion, ShrunkCacheHitsMatchShallowPositions) {
+  const std::uint32_t active = GetParam();
+  constexpr std::uint32_t kSets = 8;
+  constexpr std::uint32_t kWays = 8;
+
+  SetAssocCache full({kSets, kWays});
+  SetAssocCache shrunk({kSets, kWays});
+  for (std::uint32_t s = 0; s < kSets; ++s) shrunk.resize_set(s, active, nullptr);
+
+  Rng rng(active * 1009 + 13);
+  std::uint64_t shallow_hits = 0;
+  std::uint64_t shrunk_hits = 0;
+  for (int i = 0; i < 30000; ++i) {
+    const block_t blk = rng.below(kSets * kWays * 3);
+    const AccessOutcome f = full.access(blk, false, i);
+    const AccessOutcome s = shrunk.access(blk, false, i);
+    const bool expect_hit = f.hit && f.lru_pos < active;
+    ASSERT_EQ(s.hit, expect_hit) << "block " << blk << " iter " << i;
+    shallow_hits += expect_hit;
+    shrunk_hits += s.hit;
+  }
+  EXPECT_EQ(shrunk_hits, shallow_hits);
+  EXPECT_GT(shrunk_hits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ActiveWays, StackInclusion,
+                         ::testing::Values(1u, 2u, 3u, 5u, 7u, 8u));
+
+TEST(ModuleMap, PartitionsSets) {
+  ModuleMap m(4096, 8);
+  EXPECT_EQ(m.modules(), 8u);
+  EXPECT_EQ(m.sets_per_module(), 512u);
+  EXPECT_EQ(m.module_of(0), 0u);
+  EXPECT_EQ(m.module_of(511), 0u);
+  EXPECT_EQ(m.module_of(512), 1u);
+  EXPECT_EQ(m.module_of(4095), 7u);
+  EXPECT_EQ(m.first_set(3), 1536u);
+}
+
+TEST(ModuleMap, RejectsNonDivisors) {
+  EXPECT_THROW(ModuleMap(4096, 3), std::invalid_argument);
+  EXPECT_THROW(ModuleMap(0, 1), std::invalid_argument);
+  EXPECT_THROW(ModuleMap(8, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace esteem::cache

@@ -1,0 +1,242 @@
+// Unit tests for src/common: rng, stats, config, table, csv, env, types.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/config.hpp"
+#include "common/csv.hpp"
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+
+namespace esteem {
+namespace {
+
+TEST(Types, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(4096));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(4097));
+}
+
+TEST(Types, Log2Floor) {
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_floor(4096), 12u);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000003ULL}) {
+    for (int i = 0; i < 2000; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowCoversSmallRange) {
+  Rng rng(9);
+  std::array<int, 4> seen{};
+  for (int i = 0; i < 4000; ++i) ++seen[rng.below(4)];
+  for (int count : seen) EXPECT_GT(count, 800);  // roughly uniform
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Stats, MeanGeomeanStddev) {
+  const std::vector<double> xs{1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 7.0 / 3.0);
+  EXPECT_NEAR(geomean(xs), 2.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), std::sqrt((16.0 / 9 + 1.0 / 9 + 25.0 / 9) / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 7.0);
+}
+
+TEST(Stats, RunningStat) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  s.add(2.0);
+  s.add(4.0);
+  s.add(-6.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -6.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(Stats, Histogram) {
+  Histogram h(4);
+  h.add(0);
+  h.add(1, 5);
+  h.add(3);
+  h.add(99);  // out of range: ignored
+  EXPECT_EQ(h.at(0), 1u);
+  EXPECT_EQ(h.at(1), 5u);
+  EXPECT_EQ(h.at(2), 0u);
+  EXPECT_EQ(h.at(3), 1u);
+  EXPECT_EQ(h.total(), 7u);
+  h.clear();
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(Config, PaperDefaultsSingleCore) {
+  const SystemConfig cfg = SystemConfig::single_core();
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_EQ(cfg.ncores, 1u);
+  EXPECT_EQ(cfg.l2.geom.size_bytes, 4ULL * 1024 * 1024);
+  EXPECT_EQ(cfg.l2.geom.ways, 16u);
+  EXPECT_EQ(cfg.l2.geom.sets(), 4096u);
+  EXPECT_EQ(cfg.l2.latency_cycles, 12u);
+  EXPECT_EQ(cfg.l1.geom.size_bytes, 32ULL * 1024);
+  EXPECT_EQ(cfg.l1.latency_cycles, 2u);
+  EXPECT_EQ(cfg.mem.latency_cycles, 220u);
+  EXPECT_DOUBLE_EQ(cfg.mem.bandwidth_gbps, 10.0);
+  EXPECT_DOUBLE_EQ(cfg.esteem.alpha, 0.97);
+  EXPECT_EQ(cfg.esteem.a_min, 3u);
+  EXPECT_EQ(cfg.esteem.modules, 8u);
+  EXPECT_EQ(cfg.esteem.sampling_ratio, 64u);
+  // 50 us at 2 GHz = 100k cycles.
+  EXPECT_EQ(cfg.retention_cycles(), 100'000u);
+}
+
+TEST(Config, PaperDefaultsDualCore) {
+  const SystemConfig cfg = SystemConfig::dual_core();
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_EQ(cfg.ncores, 2u);
+  EXPECT_EQ(cfg.l2.geom.size_bytes, 8ULL * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(cfg.mem.bandwidth_gbps, 15.0);
+  EXPECT_EQ(cfg.esteem.modules, 16u);
+}
+
+TEST(Config, MemServiceCycles) {
+  const SystemConfig cfg = SystemConfig::single_core();
+  // 64 B at 10 GB/s and 2 GHz: 5 bytes/cycle -> 12.8 cycles per line.
+  EXPECT_NEAR(cfg.mem_service_cycles(), 12.8, 1e-12);
+}
+
+TEST(Config, ValidationRejectsBadParameters) {
+  auto broken = [] { return SystemConfig::single_core(); };
+  {
+    auto cfg = broken();
+    cfg.esteem.a_min = 0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    auto cfg = broken();
+    cfg.esteem.a_min = cfg.l2.geom.ways + 1;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    auto cfg = broken();
+    cfg.esteem.alpha = 0.0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    auto cfg = broken();
+    cfg.esteem.modules = 3;  // does not divide 4096
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    auto cfg = broken();
+    cfg.l2.banks = 3;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    auto cfg = broken();
+    cfg.edram.retention_us = 0.0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    auto cfg = broken();
+    cfg.l1.geom.line_bytes = 32;  // mismatched line sizes
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+}
+
+TEST(Table, AlignsAndSeparates) {
+  TextTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "0.97"});
+  t.add_separator();
+  t.add_row({"average", "1.09"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("0.97"), std::string::npos);
+  EXPECT_NE(s.find("average"), std::string::npos);
+  // Header rule + separator + top/bottom rules = at least 4 rules.
+  std::size_t rules = 0;
+  std::istringstream is(s);
+  for (std::string line; std::getline(is, line);) rules += line.starts_with('+');
+  EXPECT_GE(rules, 4u);
+}
+
+TEST(Table, Fmt) {
+  EXPECT_EQ(fmt(1.2345, 2), "1.23");
+  EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+  EXPECT_EQ(fmt_bytes(4ULL * 1024 * 1024), "4MB");
+  EXPECT_EQ(fmt_bytes(32ULL * 1024), "32KB");
+  EXPECT_EQ(fmt_bytes(100), "100B");
+}
+
+TEST(Csv, EscapesSpecialCells) {
+  const std::string path = "test_csv_out.csv";
+  {
+    CsvWriter csv(path);
+    csv.write_row({"a,b", "plain", "with \"quote\""});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"a,b\",plain,\"with \"\"quote\"\"\"");
+  std::filesystem::remove(path);
+}
+
+TEST(Env, ReadsAndFallsBack) {
+  ::setenv("ESTEEM_TEST_ENV_U64", "1234", 1);
+  EXPECT_EQ(env_u64("ESTEEM_TEST_ENV_U64", 7), 1234u);
+  ::unsetenv("ESTEEM_TEST_ENV_U64");
+  EXPECT_EQ(env_u64("ESTEEM_TEST_ENV_U64", 7), 7u);
+  ::setenv("ESTEEM_TEST_ENV_U64", "not-a-number", 1);
+  EXPECT_EQ(env_u64("ESTEEM_TEST_ENV_U64", 7), 7u);
+  ::unsetenv("ESTEEM_TEST_ENV_U64");
+  EXPECT_EQ(env_str("ESTEEM_TEST_ENV_STR", "dflt"), "dflt");
+}
+
+}  // namespace
+}  // namespace esteem

@@ -1,0 +1,92 @@
+// Tests for the INI config loader/saver.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/config_io.hpp"
+
+namespace esteem {
+namespace {
+
+TEST(ConfigIo, RoundTripsDefaults) {
+  const SystemConfig original = SystemConfig::dual_core();
+  std::stringstream ss;
+  save_config(original, ss);
+  const SystemConfig loaded = load_config(ss);
+
+  EXPECT_EQ(loaded.ncores, original.ncores);
+  EXPECT_EQ(loaded.l2.geom.size_bytes, original.l2.geom.size_bytes);
+  EXPECT_EQ(loaded.l2.geom.ways, original.l2.geom.ways);
+  EXPECT_EQ(loaded.l2.banks, original.l2.banks);
+  EXPECT_DOUBLE_EQ(loaded.l2.refresh_occupancy_cycles,
+                   original.l2.refresh_occupancy_cycles);
+  EXPECT_DOUBLE_EQ(loaded.edram.retention_us, original.edram.retention_us);
+  EXPECT_DOUBLE_EQ(loaded.mem.bandwidth_gbps, original.mem.bandwidth_gbps);
+  EXPECT_DOUBLE_EQ(loaded.esteem.alpha, original.esteem.alpha);
+  EXPECT_EQ(loaded.esteem.a_min, original.esteem.a_min);
+  EXPECT_EQ(loaded.esteem.modules, original.esteem.modules);
+  EXPECT_EQ(loaded.esteem.interval_cycles, original.esteem.interval_cycles);
+  EXPECT_EQ(loaded.esteem.nonlru_guard, original.esteem.nonlru_guard);
+  EXPECT_DOUBLE_EQ(loaded.esteem.history_weight, original.esteem.history_weight);
+}
+
+TEST(ConfigIo, PartialConfigKeepsDefaults) {
+  std::stringstream ss("[l2]\nsize_kb = 2048\n[esteem]\nalpha = 0.95\n");
+  const SystemConfig cfg = load_config(ss);
+  EXPECT_EQ(cfg.l2.geom.size_bytes, 2048ULL * 1024);
+  EXPECT_DOUBLE_EQ(cfg.esteem.alpha, 0.95);
+  // Untouched keys stay at the paper defaults.
+  EXPECT_EQ(cfg.l2.geom.ways, 16u);
+  EXPECT_EQ(cfg.esteem.a_min, 3u);
+}
+
+TEST(ConfigIo, IgnoresCommentsAndBlankLines) {
+  std::stringstream ss(
+      "# a comment\n\n; another\n[esteem]\n  a_min = 2  \n# trailing\n");
+  EXPECT_EQ(load_config(ss).esteem.a_min, 2u);
+}
+
+TEST(ConfigIo, RejectsUnknownKey) {
+  std::stringstream ss("[esteem]\nalfa = 0.97\n");
+  EXPECT_THROW(load_config(ss), std::invalid_argument);
+}
+
+TEST(ConfigIo, RejectsUnknownSection) {
+  std::stringstream ss("[l3]\nsize_kb = 1024\n");
+  EXPECT_THROW(load_config(ss), std::invalid_argument);
+}
+
+TEST(ConfigIo, RejectsMalformedLines) {
+  {
+    std::stringstream ss("[esteem\nalpha = 0.97\n");
+    EXPECT_THROW(load_config(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("[esteem]\nalpha 0.97\n");
+    EXPECT_THROW(load_config(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("[esteem]\nalpha = zero\n");
+    EXPECT_THROW(load_config(ss), std::invalid_argument);
+  }
+}
+
+TEST(ConfigIo, ValidatesLoadedValues) {
+  // Parses fine but fails SystemConfig::validate (A_min > ways).
+  std::stringstream ss("[esteem]\na_min = 99\n");
+  EXPECT_THROW(load_config(ss), std::invalid_argument);
+}
+
+TEST(ConfigIo, MissingFileThrows) {
+  EXPECT_THROW(load_config_file("/nonexistent/esteem.ini"), std::invalid_argument);
+}
+
+TEST(ConfigIo, LineBytesAppliesToBothLevels) {
+  std::stringstream ss("[l2]\nline_bytes = 128\nsize_kb = 4096\n[l1]\nsize_kb = 32\n");
+  const SystemConfig cfg = load_config(ss);
+  EXPECT_EQ(cfg.l1.geom.line_bytes, 128u);
+  EXPECT_EQ(cfg.l2.geom.line_bytes, 128u);
+}
+
+}  // namespace
+}  // namespace esteem

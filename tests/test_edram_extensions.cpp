@@ -1,0 +1,141 @@
+// Tests for the extension refresh policies: Smart-Refresh (per-line
+// timestamps) and ECC-assisted refresh-interval extension.
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "edram/ecc.hpp"
+#include "edram/smart_refresh.hpp"
+#include "refrint/rpv.hpp"
+
+namespace esteem::edram {
+namespace {
+
+// ---- Smart-Refresh ----------------------------------------------------
+
+TEST(SmartRefresh, UntouchedLineRefreshedOncePerRetention) {
+  SmartRefreshPolicy p(4, 4, /*retention=*/100, /*check=*/25);
+  p.on_fill(0, 0, 7, 0);
+  // Refreshed at the last check where its age is still within retention:
+  // the check at t=100 sees that age would reach 125 > 100 by the next
+  // check, so it refreshes there (age exactly 100 is still safe).
+  EXPECT_EQ(p.advance(75), 0u);
+  EXPECT_EQ(p.advance(100), 1u);
+  // Refresh resets the clock: next due check is t=200.
+  EXPECT_EQ(p.advance(175), 0u);
+  EXPECT_EQ(p.advance(200), 1u);
+}
+
+TEST(SmartRefresh, TouchedLineSkipsRefresh) {
+  SmartRefreshPolicy p(4, 4, 100, 25);
+  p.on_fill(0, 0, 7, 0);
+  std::uint64_t refreshed = 0;
+  for (cycle_t t = 20; t <= 2000; t += 20) {
+    refreshed += p.advance(t);
+    p.on_touch(0, 0, t);  // touched every 20 cycles: never ages past 100
+  }
+  EXPECT_EQ(refreshed, 0u);
+}
+
+TEST(SmartRefresh, InvalidLinesIgnored) {
+  SmartRefreshPolicy p(2, 2, 100, 25);
+  p.on_fill(0, 0, 1, 0);
+  p.on_fill(0, 1, 2, 0);
+  p.on_invalidate(0, 1, false, 10);
+  EXPECT_EQ(p.valid_lines(), 1u);
+  EXPECT_EQ(p.advance(100), 1u);  // only the surviving line
+}
+
+TEST(SmartRefresh, NeverRefreshesMoreThanRpv) {
+  // Same access pattern driven through both policies: Smart-Refresh is the
+  // fine-grained limit of polyphase and must not exceed RPV's count.
+  SmartRefreshPolicy smart(8, 4, 100, 25);
+  refrint::PolyphaseValidPolicy rpv(8, 4, 4, 100);
+  std::uint64_t s_total = 0, r_total = 0;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    smart.on_fill(i, 0, i, i * 7);
+    rpv.on_fill(i, 0, i, i * 7);
+  }
+  for (cycle_t t = 40; t <= 4000; t += 40) {
+    s_total += smart.advance(t);
+    r_total += rpv.advance(t);
+    const std::uint32_t victim = static_cast<std::uint32_t>(t / 40 % 8);
+    if (victim < 4) {  // half the lines are hot
+      smart.on_touch(victim, 0, t);
+      rpv.on_touch(victim, 0, t);
+    }
+  }
+  EXPECT_LE(s_total, r_total);
+  EXPECT_GT(r_total, 0u);
+}
+
+TEST(SmartRefresh, Validation) {
+  EXPECT_THROW(SmartRefreshPolicy(2, 2, 0, 1), std::invalid_argument);
+  EXPECT_THROW(SmartRefreshPolicy(2, 2, 100, 0), std::invalid_argument);
+  EXPECT_THROW(SmartRefreshPolicy(2, 2, 100, 101), std::invalid_argument);
+}
+
+// ---- ECC refresh extension ---------------------------------------------
+
+TEST(Ecc, CellFailureMonotoneInExtension) {
+  const CellRetentionModel model;
+  double prev = 0.0;
+  for (double ext : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    const double p = cell_failure_probability(ext, model);
+    EXPECT_GE(p, prev);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+  // At the nominal period (guard-banded worst case) failures are negligible;
+  // at the median multiple they are 50%.
+  EXPECT_LT(cell_failure_probability(1.0, model), 1e-15);
+  EXPECT_NEAR(cell_failure_probability(model.median_multiple, model), 0.5, 1e-9);
+}
+
+TEST(Ecc, StrongerCodeToleratesLongerExtension) {
+  const CellRetentionModel model;
+  const std::uint32_t weak = max_safe_extension(512, 1, 1e-9, model);
+  const std::uint32_t strong = max_safe_extension(512, 8, 1e-9, model);
+  EXPECT_GE(strong, weak);
+  EXPECT_GE(weak, 1u);
+  // With the default model, a 4-bit-correcting code buys a useful extension.
+  EXPECT_GT(max_safe_extension(512, 4, 1e-9, model), 2u);
+}
+
+TEST(Ecc, LineFailureBinomialTail) {
+  const CellRetentionModel model;
+  // No correction: line fails if any bit fails.
+  const double p_cell = cell_failure_probability(8.0, model);
+  const double p_line = line_failure_probability(512, 0, 8.0, model);
+  EXPECT_NEAR(p_line, 1.0 - std::pow(1.0 - p_cell, 512.0), 1e-9);
+  // Correction strictly reduces the failure probability.
+  EXPECT_LT(line_failure_probability(512, 2, 8.0, model), p_line);
+}
+
+TEST(Ecc, StorageOverhead) {
+  EXPECT_DOUBLE_EQ(ecc_storage_overhead(512, 0), 0.0);
+  // t=4 on 512 data bits: 4 * ceil(log2(512)+1) = 40 check bits.
+  EXPECT_NEAR(ecc_storage_overhead(512, 4), 40.0 / 512.0, 1e-12);
+  EXPECT_GT(ecc_storage_overhead(512, 8), ecc_storage_overhead(512, 4));
+}
+
+TEST(EccPolicy, RefreshesAtExtendedInterval) {
+  EccRefreshPolicy p(100, 4);  // refresh every 400 cycles
+  p.on_fill(0, 0, 1, 0);
+  p.on_fill(0, 1, 2, 0);
+  EXPECT_EQ(p.advance(399), 0u);
+  EXPECT_EQ(p.advance(400), 2u);
+  EXPECT_EQ(p.advance(799), 0u);
+  EXPECT_EQ(p.advance(800), 2u);
+  // Bank-load demand is normalized to the nominal period.
+  EXPECT_DOUBLE_EQ(p.refresh_lines_per_period(), 0.5);
+}
+
+TEST(EccPolicy, Validation) {
+  EXPECT_THROW(EccRefreshPolicy(0, 2), std::invalid_argument);
+  EXPECT_THROW(EccRefreshPolicy(100, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace esteem::edram

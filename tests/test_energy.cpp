@@ -1,0 +1,113 @@
+// Tests for Table 2 values and the §6.3 energy equations.
+#include <gtest/gtest.h>
+
+#include "energy/cacti_table.hpp"
+#include "energy/energy_model.hpp"
+
+namespace esteem::energy {
+namespace {
+
+constexpr std::uint64_t MB = 1024ULL * 1024;
+
+TEST(CactiTable, ExactPaperValues) {
+  // Paper Table 2, verbatim.
+  EXPECT_DOUBLE_EQ(l2_energy_params(2 * MB).e_dyn_nj_per_access, 0.186);
+  EXPECT_DOUBLE_EQ(l2_energy_params(2 * MB).p_leak_watts, 0.096);
+  EXPECT_DOUBLE_EQ(l2_energy_params(4 * MB).e_dyn_nj_per_access, 0.212);
+  EXPECT_DOUBLE_EQ(l2_energy_params(4 * MB).p_leak_watts, 0.116);
+  EXPECT_DOUBLE_EQ(l2_energy_params(8 * MB).e_dyn_nj_per_access, 0.282);
+  EXPECT_DOUBLE_EQ(l2_energy_params(8 * MB).p_leak_watts, 0.280);
+  EXPECT_DOUBLE_EQ(l2_energy_params(16 * MB).e_dyn_nj_per_access, 0.370);
+  EXPECT_DOUBLE_EQ(l2_energy_params(16 * MB).p_leak_watts, 0.456);
+  EXPECT_DOUBLE_EQ(l2_energy_params(32 * MB).e_dyn_nj_per_access, 0.467);
+  EXPECT_DOUBLE_EQ(l2_energy_params(32 * MB).p_leak_watts, 1.056);
+}
+
+TEST(CactiTable, InterpolationIsMonotoneAndBracketed) {
+  const auto lo = l2_energy_params(4 * MB);
+  const auto mid = l2_energy_params(6 * MB);
+  const auto hi = l2_energy_params(8 * MB);
+  EXPECT_GT(mid.e_dyn_nj_per_access, lo.e_dyn_nj_per_access);
+  EXPECT_LT(mid.e_dyn_nj_per_access, hi.e_dyn_nj_per_access);
+  EXPECT_GT(mid.p_leak_watts, lo.p_leak_watts);
+  EXPECT_LT(mid.p_leak_watts, hi.p_leak_watts);
+}
+
+TEST(CactiTable, ExtrapolatesOutsideTable) {
+  EXPECT_LT(l2_energy_params(1 * MB).p_leak_watts, 0.096);
+  EXPECT_GT(l2_energy_params(64 * MB).p_leak_watts, 1.056);
+  EXPECT_GT(l2_energy_params(1 * MB).p_leak_watts, 0.0);
+  EXPECT_THROW(l2_energy_params(0), std::invalid_argument);
+}
+
+TEST(EnergyModel, EquationsByHand) {
+  EnergyModelParams params;
+  params.l2 = {0.2, 0.1};  // 0.2 nJ/access, 0.1 W leak
+  params.mm_dyn_nj = 70.0;
+  params.mm_leak_w = 0.18;
+  params.e_chi_nj = 0.002;
+
+  EnergyCounters c;
+  c.seconds = 2.0;
+  c.fa_seconds = 1.0;        // cache half-on on average
+  c.l2_hits = 1000;
+  c.l2_misses = 250;
+  c.refreshes = 5000;
+  c.mm_accesses = 300;
+  c.transitions = 4000;
+
+  const EnergyBreakdown e = compute_energy(params, c);
+  EXPECT_DOUBLE_EQ(e.leak_l2_j, 0.1 * 1.0);                        // (4)
+  EXPECT_DOUBLE_EQ(e.dyn_l2_j, 0.2e-9 * (2.0 * 250 + 1000));       // (5)
+  EXPECT_DOUBLE_EQ(e.refresh_l2_j, 5000 * 0.2e-9);                 // (6)
+  EXPECT_DOUBLE_EQ(e.mm_j, 0.18 * 2.0 + 70e-9 * 300);              // (7)
+  EXPECT_DOUBLE_EQ(e.algo_j, 0.002e-9 * 4000);                     // (8)
+  EXPECT_DOUBLE_EQ(e.total_j(),
+                   e.leak_l2_j + e.dyn_l2_j + e.refresh_l2_j + e.mm_j + e.algo_j);
+}
+
+TEST(EnergyModel, RefreshDominatesBaselineEdramL2) {
+  // Paper §1: refresh is ~70% of total eDRAM LLC energy, leakage most of the
+  // rest. Check with the paper's own numbers: 4 MB cache, 50 us retention,
+  // all 65536 lines refreshed each period, idle otherwise, over 1 second.
+  EnergyModelParams params;
+  params.l2 = l2_energy_params(4 * MB);
+
+  EnergyCounters c;
+  c.seconds = 1.0;
+  c.fa_seconds = 1.0;
+  c.refreshes = static_cast<std::uint64_t>(65536.0 / 50e-6);  // lines/period / s
+
+  const EnergyBreakdown e = compute_energy(params, c);
+  const double l2_total = e.l2_j();
+  EXPECT_NEAR(e.refresh_l2_j / l2_total, 0.70, 0.05);
+  EXPECT_NEAR(e.leak_l2_j / l2_total, 0.30, 0.05);
+}
+
+TEST(EnergyModel, PercentSaving) {
+  EnergyBreakdown base;
+  base.mm_j = 2.0;
+  EnergyBreakdown tech;
+  tech.mm_j = 1.5;
+  EXPECT_DOUBLE_EQ(percent_energy_saving(base, tech), 25.0);
+  EXPECT_DOUBLE_EQ(percent_energy_saving(EnergyBreakdown{}, tech), 0.0);
+  // Negative saving (loss) is representable.
+  EXPECT_LT(percent_energy_saving(tech, base), 0.0);
+}
+
+TEST(EnergyModel, CountersAccumulate) {
+  EnergyCounters a;
+  a.seconds = 1.0;
+  a.l2_hits = 10;
+  EnergyCounters b;
+  b.seconds = 2.0;
+  b.l2_hits = 5;
+  b.refreshes = 7;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.seconds, 3.0);
+  EXPECT_EQ(a.l2_hits, 15u);
+  EXPECT_EQ(a.refreshes, 7u);
+}
+
+}  // namespace
+}  // namespace esteem::energy

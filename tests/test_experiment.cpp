@@ -1,0 +1,165 @@
+// Tests for the experiment/comparison layer, sweep runner, and reports.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "sim/experiment.hpp"
+#include "sim/metrics.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+
+namespace esteem::sim {
+namespace {
+
+SystemConfig tiny() {
+  SystemConfig cfg = SystemConfig::single_core();
+  cfg.l1.geom = CacheGeometry{8ULL * 1024, 4, 64};
+  cfg.l2.geom = CacheGeometry{512ULL * 1024, 8, 64};
+  cfg.edram.retention_us = 5.0;
+  cfg.esteem.modules = 8;
+  cfg.esteem.interval_cycles = 100'000;
+  cfg.esteem.sampling_ratio = 32;
+  cfg.esteem.a_min = 2;
+  return cfg;
+}
+
+trace::Workload wl(const std::string& name) { return {name, {name}}; }
+
+TEST(Metrics, WeightedAndFairSpeedup) {
+  const std::vector<double> base{1.0, 2.0};
+  const std::vector<double> tech{1.2, 2.0};
+  EXPECT_DOUBLE_EQ(weighted_speedup(base, tech), (1.2 + 1.0) / 2.0);
+  EXPECT_DOUBLE_EQ(fair_speedup(base, tech), 2.0 / (1.0 / 1.2 + 1.0));
+  EXPECT_DOUBLE_EQ(weighted_speedup(base, base), 1.0);
+  const std::vector<double> one{1.0};
+  const std::vector<double> none;
+  EXPECT_THROW(weighted_speedup(base, one), std::invalid_argument);
+  EXPECT_THROW(weighted_speedup(none, none), std::invalid_argument);
+}
+
+TEST(Metrics, PerKiloInstructions) {
+  EXPECT_DOUBLE_EQ(per_kilo_instructions(500, 1'000'000), 0.5);
+  EXPECT_DOUBLE_EQ(per_kilo_instructions(5, 0), 0.0);
+}
+
+TEST(Technique, ParseRoundTrips) {
+  for (Technique t : all_techniques()) {
+    EXPECT_EQ(parse_technique(to_string(t)), t);
+  }
+  EXPECT_THROW(parse_technique("bogus"), std::invalid_argument);
+}
+
+TEST(Experiment, RunProducesEnergy) {
+  RunSpec spec;
+  spec.config = tiny();
+  spec.technique = Technique::BaselinePeriodicAll;
+  spec.workload = wl("gamess");
+  spec.instr_per_core = 150'000;
+  const RunOutcome out = run_experiment(spec);
+  EXPECT_GT(out.energy.total_j(), 0.0);
+  EXPECT_GT(out.energy.refresh_l2_j, 0.0);
+  EXPECT_GT(out.energy.leak_l2_j, 0.0);
+  EXPECT_GT(out.energy.mm_j, 0.0);
+  EXPECT_DOUBLE_EQ(out.energy.algo_j, 0.0);  // baseline: E_Algo = 0 (§6.3)
+}
+
+TEST(Experiment, CompareAgainstSelfIsNeutral) {
+  RunSpec spec;
+  spec.config = tiny();
+  spec.technique = Technique::BaselinePeriodicAll;
+  spec.workload = wl("bzip2");
+  spec.instr_per_core = 100'000;
+  const RunOutcome out = run_experiment(spec);
+  const TechniqueComparison c =
+      compare("bzip2", Technique::BaselinePeriodicAll, out, out);
+  EXPECT_DOUBLE_EQ(c.energy_saving_pct, 0.0);
+  EXPECT_DOUBLE_EQ(c.weighted_speedup, 1.0);
+  EXPECT_DOUBLE_EQ(c.rpki_decrease, 0.0);
+  EXPECT_DOUBLE_EQ(c.mpki_increase, 0.0);
+}
+
+TEST(Experiment, EsteemSavesEnergyOnCacheFriendlyWorkload) {
+  RunSpec spec;
+  spec.config = tiny();
+  spec.technique = Technique::Esteem;
+  spec.workload = wl("gamess");
+  spec.instr_per_core = 400'000;
+  const TechniqueComparison c = run_and_compare(spec);
+  EXPECT_GT(c.energy_saving_pct, 0.0);
+  EXPECT_GT(c.rpki_decrease, 0.0);
+  EXPECT_LT(c.active_ratio_pct, 100.0);
+  // Scaled-down runs exaggerate reconfiguration overhead relative to the
+  // interval's useful work, so only require the slowdown stays moderate.
+  EXPECT_GE(c.weighted_speedup, 0.7);
+}
+
+TEST(Sweep, RunsAllWorkloadsAndTechniques) {
+  SweepSpec spec;
+  spec.config = tiny();
+  spec.workloads = {wl("gamess"), wl("gobmk"), wl("libquantum")};
+  spec.techniques = {Technique::Esteem, Technique::RefrintRPV};
+  spec.instr_per_core = 120'000;
+
+  const SweepResult result = run_sweep(spec);
+  ASSERT_EQ(result.rows.size(), 3u);
+  for (const WorkloadRow& row : result.rows) {
+    ASSERT_EQ(row.comparisons.size(), 2u);
+    EXPECT_EQ(row.comparisons[0].technique, Technique::Esteem);
+    EXPECT_EQ(row.comparisons[1].technique, Technique::RefrintRPV);
+    // RPV never turns off cache; its active ratio stays 100 and MPKI delta 0.
+    EXPECT_DOUBLE_EQ(row.comparisons[1].active_ratio_pct, 100.0);
+    EXPECT_NEAR(row.comparisons[1].mpki_increase, 0.0, 1e-9);
+  }
+
+  const TechniqueComparison avg = result.summary(Technique::Esteem);
+  double manual = 0.0;
+  for (const auto& row : result.rows) manual += row.comparisons[0].energy_saving_pct;
+  EXPECT_NEAR(avg.energy_saving_pct, manual / 3.0, 1e-9);
+  EXPECT_THROW(result.summary(Technique::RefrintRPD), std::invalid_argument);
+}
+
+TEST(Sweep, Validation) {
+  SweepSpec spec;
+  spec.config = tiny();
+  EXPECT_THROW(run_sweep(spec), std::invalid_argument);  // no workloads
+  spec.workloads = {wl("gamess")};
+  spec.techniques = {Technique::BaselinePeriodicAll};
+  EXPECT_THROW(run_sweep(spec), std::invalid_argument);  // explicit baseline
+}
+
+TEST(Report, FigureReportMentionsWorkloadsAndAverage) {
+  SweepSpec spec;
+  spec.config = tiny();
+  spec.workloads = {wl("gamess"), wl("gobmk")};
+  spec.techniques = {Technique::Esteem};
+  spec.instr_per_core = 100'000;
+  const SweepResult result = run_sweep(spec);
+  const std::string report = figure_report(result, "Figure X");
+  EXPECT_NE(report.find("Figure X"), std::string::npos);
+  EXPECT_NE(report.find("gamess"), std::string::npos);
+  EXPECT_NE(report.find("gobmk"), std::string::npos);
+  EXPECT_NE(report.find("average"), std::string::npos);
+  EXPECT_NE(report.find("esteem:energy%"), std::string::npos);
+}
+
+TEST(Report, CsvWritten) {
+  SweepSpec spec;
+  spec.config = tiny();
+  spec.workloads = {wl("gamess")};
+  spec.techniques = {Technique::Esteem};
+  spec.instr_per_core = 100'000;
+  const SweepResult result = run_sweep(spec);
+  const std::string path = "test_report_out.csv";
+  write_csv(result, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 2);  // header + 1 workload x 1 technique
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace esteem::sim

@@ -1,0 +1,61 @@
+// Tests for the main-memory latency/bandwidth/queue model.
+#include <gtest/gtest.h>
+
+#include "mem/main_memory.hpp"
+
+namespace esteem::mem {
+namespace {
+
+TEST(MainMemory, BaseLatencyWhenIdle) {
+  MainMemory mm({220, 12.8});
+  EXPECT_EQ(mm.read(1000), 220u);
+  EXPECT_EQ(mm.stats().reads, 1u);
+  EXPECT_EQ(mm.stats().queue_wait_cycles, 0u);
+}
+
+TEST(MainMemory, QueueContentionAccumulates) {
+  MainMemory mm({220, 10.0});
+  EXPECT_EQ(mm.read(0), 220u);        // channel busy until 10
+  EXPECT_EQ(mm.read(0), 230u);        // waits 10
+  EXPECT_EQ(mm.read(0), 240u);        // waits 20
+  EXPECT_EQ(mm.stats().queue_wait_cycles, 30u);
+}
+
+TEST(MainMemory, WritesOccupyBandwidthWithoutStalling) {
+  MainMemory mm({220, 10.0});
+  mm.write(0);  // channel busy until 10
+  mm.write(0);  // until 20
+  EXPECT_EQ(mm.stats().writes, 2u);
+  // A read right after the writes queues behind them.
+  EXPECT_EQ(mm.read(0), 240u);
+}
+
+TEST(MainMemory, ChannelDrainsOverTime) {
+  MainMemory mm({100, 50.0});
+  EXPECT_EQ(mm.read(0), 100u);
+  // At t=100 the channel (busy until 50) is long free again.
+  EXPECT_EQ(mm.read(100), 100u);
+}
+
+TEST(MainMemory, FractionalServiceAccumulates) {
+  MainMemory mm({0, 0.5});
+  // Two accesses at t=0: the second waits 0.5 cycles, truncated to 0; the
+  // fourth has accumulated 1.5 cycles -> reported wait 1.
+  EXPECT_EQ(mm.read(0), 0u);
+  EXPECT_EQ(mm.read(0), 0u);
+  EXPECT_EQ(mm.read(0), 1u);
+  EXPECT_EQ(mm.read(0), 1u);
+  EXPECT_EQ(mm.read(0), 2u);
+}
+
+TEST(MainMemory, StatsReset) {
+  MainMemory mm({220, 10.0});
+  (void)mm.read(0);
+  mm.write(0);
+  EXPECT_EQ(mm.stats().accesses(), 2u);
+  mm.reset_stats();
+  EXPECT_EQ(mm.stats().accesses(), 0u);
+}
+
+}  // namespace
+}  // namespace esteem::mem

@@ -1,0 +1,47 @@
+// Tests for the storage-overhead formula (paper §5, Eq. 1).
+#include <gtest/gtest.h>
+
+#include "core/overhead.hpp"
+
+namespace esteem::core {
+namespace {
+
+TEST(Overhead, PaperHeadlineValue) {
+  // "For a 4MB cache with 16 modules and 16-way set-associativity, the
+  //  overhead of ESTEEM is found to be 0.06% of the L2 cache size."
+  OverheadInputs in;  // defaults are exactly that configuration (S = 4096)
+  EXPECT_NEAR(overhead_percent(in), 0.06, 0.005);
+  EXPECT_LT(overhead_percent(in), 0.1);  // "less than 0.1%" (§1.1)
+}
+
+TEST(Overhead, CounterStorageFormula) {
+  OverheadInputs in;
+  in.ways = 16;
+  in.modules = 16;
+  in.counter_bits = 40;
+  // (2A+1) * M * 40 = 33 * 16 * 40 bits.
+  EXPECT_EQ(counter_storage_bits(in), 33ULL * 16 * 40);
+}
+
+TEST(Overhead, ScalesLinearlyWithModules) {
+  OverheadInputs a, b;
+  a.modules = 8;
+  b.modules = 32;
+  EXPECT_NEAR(overhead_percent(b) / overhead_percent(a), 4.0, 1e-9);
+}
+
+TEST(Overhead, LargerCachesHaveSmallerOverhead) {
+  OverheadInputs small, large;
+  small.sets = 2048;  // 2 MB at 16 ways, 64 B lines
+  large.sets = 8192;  // 8 MB
+  EXPECT_GT(overhead_percent(small), overhead_percent(large));
+}
+
+TEST(Overhead, RejectsEmptyCache) {
+  OverheadInputs in;
+  in.sets = 0;
+  EXPECT_THROW(overhead_percent(in), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace esteem::core

@@ -1,0 +1,310 @@
+// Unit tests for src/trace: patterns, benchmark profiles, workload lists.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "trace/patterns.hpp"
+#include "trace/spec_profiles.hpp"
+#include "trace/workloads.hpp"
+
+namespace esteem::trace {
+namespace {
+
+const GeneratorContext kCtx{4096, 64};
+
+TEST(Streaming, SequentialAndWraps) {
+  StreamingPattern p(100, 4);
+  EXPECT_EQ(p.next_block(), 100u);
+  EXPECT_EQ(p.next_block(), 101u);
+  EXPECT_EQ(p.next_block(), 102u);
+  EXPECT_EQ(p.next_block(), 103u);
+  EXPECT_EQ(p.next_block(), 100u);  // wrapped
+}
+
+TEST(Streaming, StrideRespected) {
+  StreamingPattern p(0, 8, 2);
+  EXPECT_EQ(p.next_block(), 0u);
+  EXPECT_EQ(p.next_block(), 2u);
+  EXPECT_EQ(p.next_block(), 4u);
+  EXPECT_EQ(p.next_block(), 6u);
+  EXPECT_EQ(p.next_block(), 0u);
+}
+
+TEST(Streaming, RejectsZeroStride) {
+  EXPECT_THROW(StreamingPattern(0, 8, 0), std::invalid_argument);
+}
+
+TEST(RandomWorkingSet, StaysInBounds) {
+  RandomWorkingSetPattern p(1000, 64, 8, 0.5, 42);
+  for (int i = 0; i < 5000; ++i) {
+    const block_t b = p.next_block();
+    EXPECT_GE(b, 1000u);
+    EXPECT_LT(b, 1064u);
+  }
+}
+
+TEST(RandomWorkingSet, HotSubsetIsHot) {
+  RandomWorkingSetPattern p(0, 1000, 10, 0.8, 42);
+  int hot = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hot += (p.next_block() < 10);
+  // P(block < 10) = 0.8 + 0.2 * 10/1000 = 0.802.
+  EXPECT_NEAR(static_cast<double>(hot) / n, 0.802, 0.02);
+}
+
+TEST(PointerChase, FullCyclePermutation) {
+  PointerChasePattern p(0, 64, 7);
+  std::set<block_t> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(p.next_block());
+  EXPECT_EQ(seen.size(), 64u);  // Hull-Dobell LCG visits every block once
+  EXPECT_LT(*seen.rbegin(), 64u);
+}
+
+TEST(PointerChase, DeterministicPerSeed) {
+  PointerChasePattern a(0, 128, 3), b(0, 128, 3), c(0, 128, 4);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const block_t x = a.next_block();
+    EXPECT_EQ(x, b.next_block());
+    any_diff |= (x != c.next_block());
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MultiScan, SweepsEachDepthRegion) {
+  const GeneratorContext ctx{16, 64};
+  MultiScanPattern p(0, {2, 3}, ctx, 1);
+  // Depth 2: region of 32 blocks, then depth 3: region of 48 blocks.
+  for (block_t i = 0; i < 32; ++i) EXPECT_EQ(p.next_block(), i);
+  for (block_t i = 0; i < 48; ++i) EXPECT_EQ(p.next_block(), i);
+  // Back to depth 2.
+  EXPECT_EQ(p.next_block(), 0u);
+}
+
+TEST(MultiScan, RejectsBadDepths) {
+  EXPECT_THROW(MultiScanPattern(0, {}, kCtx), std::invalid_argument);
+  EXPECT_THROW(MultiScanPattern(0, {0}, kCtx), std::invalid_argument);
+}
+
+TEST(Mixture, RespectsWeights) {
+  std::vector<std::unique_ptr<BlockPattern>> kids;
+  kids.push_back(std::make_unique<StreamingPattern>(0, 1));      // always block 0
+  kids.push_back(std::make_unique<StreamingPattern>(1000, 1));   // always block 1000
+  MixturePattern p(std::move(kids), {0.9, 0.1}, 42);
+  int first = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) first += (p.next_block() == 0);
+  EXPECT_NEAR(static_cast<double>(first) / n, 0.9, 0.02);
+}
+
+TEST(Mixture, ValidatesInput) {
+  std::vector<std::unique_ptr<BlockPattern>> kids;
+  kids.push_back(std::make_unique<StreamingPattern>(0, 1));
+  EXPECT_THROW(MixturePattern(std::move(kids), {0.5, 0.5}, 1), std::invalid_argument);
+  std::vector<std::unique_ptr<BlockPattern>> kids2;
+  kids2.push_back(std::make_unique<StreamingPattern>(0, 1));
+  EXPECT_THROW(MixturePattern(std::move(kids2), {0.0}, 1), std::invalid_argument);
+}
+
+TEST(Phased, SwitchesChildren) {
+  std::vector<std::unique_ptr<BlockPattern>> kids;
+  kids.push_back(std::make_unique<StreamingPattern>(0, 1));
+  kids.push_back(std::make_unique<StreamingPattern>(7, 1));
+  PhasedPattern p(std::move(kids), 3);
+  EXPECT_EQ(p.next_block(), 0u);
+  EXPECT_EQ(p.next_block(), 0u);
+  EXPECT_EQ(p.next_block(), 0u);
+  EXPECT_EQ(p.next_block(), 7u);
+  EXPECT_EQ(p.next_block(), 7u);
+  EXPECT_EQ(p.next_block(), 7u);
+  EXPECT_EQ(p.next_block(), 0u);  // round-robin back
+}
+
+TEST(NestedWorkingSet, LevelsAreNestedAndInnerHot) {
+  // ws 1024, 3 levels at size ratio 0.25: levels of 1024, 256, 64 blocks.
+  NestedWorkingSetPattern p(0, 1024, 3, 0.25, 3.0, 42);
+  std::uint64_t inner = 0, mid = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    const block_t b = p.next_block();
+    ASSERT_LT(b, 1024u);
+    inner += (b < 64);
+    mid += (b < 256);
+  }
+  // Weights 1 : 3 : 9 -> inner level picked ~9/13 of the time, plus the
+  // fraction of outer-level draws landing inside it.
+  EXPECT_GT(static_cast<double>(inner) / n, 0.6);
+  EXPECT_GT(mid, inner);
+}
+
+TEST(NestedWorkingSet, Validation) {
+  EXPECT_THROW(NestedWorkingSetPattern(0, 64, 0, 0.5, 2.0, 1), std::invalid_argument);
+  EXPECT_THROW(NestedWorkingSetPattern(0, 64, 3, 1.5, 2.0, 1), std::invalid_argument);
+  EXPECT_THROW(NestedWorkingSetPattern(0, 64, 3, 0.5, 0.0, 1), std::invalid_argument);
+}
+
+TEST(TemporalReuse, ReusesRecentBlocks) {
+  // Child streams fresh blocks; with reuse_prob 0.9 about 90% of accesses
+  // must revisit one of the last 8 distinct blocks.
+  auto child = std::make_unique<StreamingPattern>(0, 1'000'000);
+  TemporalReusePattern p(std::move(child), 0.9, 8, 42);
+  block_t max_seen = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) max_seen = std::max(max_seen, p.next_block());
+  // Fresh draws happen ~10% of the time, so the stream advanced ~n/10.
+  EXPECT_NEAR(static_cast<double>(max_seen), n * 0.1, n * 0.02);
+}
+
+TEST(TemporalReuse, ReusedBlocksComeFromWindow) {
+  auto child = std::make_unique<StreamingPattern>(0, 1'000'000);
+  TemporalReusePattern p(std::move(child), 0.7, 16, 7);
+  block_t newest = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const block_t b = p.next_block();
+    if (b > newest) {
+      newest = b;  // fresh block from the stream
+    } else {
+      // Reuse: must be one of the 16 most recent distinct blocks.
+      EXPECT_GE(b + 16, newest);
+    }
+  }
+}
+
+TEST(TemporalReuse, ZeroProbPassesThrough) {
+  auto child = std::make_unique<StreamingPattern>(0, 100);
+  TemporalReusePattern p(std::move(child), 0.0, 4, 1);
+  for (block_t i = 0; i < 100; ++i) EXPECT_EQ(p.next_block(), i);
+}
+
+TEST(TemporalReuse, Validation) {
+  EXPECT_THROW(TemporalReusePattern(nullptr, 0.5, 4, 1), std::invalid_argument);
+  EXPECT_THROW(
+      TemporalReusePattern(std::make_unique<StreamingPattern>(0, 4), 1.0, 4, 1),
+      std::invalid_argument);
+  EXPECT_THROW(
+      TemporalReusePattern(std::make_unique<StreamingPattern>(0, 4), 0.5, 0, 1),
+      std::invalid_argument);
+}
+
+TEST(MultiScan, NarrowSpanConfinesSets) {
+  // Span of 4 sets in a 16-set cache: every generated block maps to sets 0-3.
+  const GeneratorContext ctx{16, 64};
+  MultiScanPattern p(0, {2, 3}, ctx, 1, 4);
+  for (int i = 0; i < 200; ++i) {
+    const block_t b = p.next_block();
+    EXPECT_LT(b % 16, 4u) << "block " << b;
+  }
+}
+
+TEST(InstructionMixer, GapMeanMatchesMemRatio) {
+  auto pat = std::make_unique<StreamingPattern>(0, 1024);
+  InstructionMixer mixer(std::move(pat), 0.25, 0.3, 42);
+  double gaps = 0.0;
+  int stores = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const MemRef r = mixer.next();
+    gaps += r.gap;
+    stores += r.is_store;
+  }
+  EXPECT_NEAR(gaps / n, 3.0, 0.15);  // mean gap = 1/0.25 - 1
+  EXPECT_NEAR(static_cast<double>(stores) / n, 0.3, 0.02);
+}
+
+TEST(InstructionMixer, FullMemRatioHasZeroGaps) {
+  auto pat = std::make_unique<StreamingPattern>(0, 16);
+  InstructionMixer mixer(std::move(pat), 1.0, 0.0, 1);
+  for (int i = 0; i < 100; ++i) {
+    const MemRef r = mixer.next();
+    EXPECT_EQ(r.gap, 0u);
+    EXPECT_FALSE(r.is_store);
+  }
+}
+
+TEST(InstructionMixer, ValidatesRatios) {
+  EXPECT_THROW(
+      InstructionMixer(std::make_unique<StreamingPattern>(0, 1), 0.0, 0.0, 1),
+      std::invalid_argument);
+  EXPECT_THROW(
+      InstructionMixer(std::make_unique<StreamingPattern>(0, 1), 0.5, 1.5, 1),
+      std::invalid_argument);
+  EXPECT_THROW(InstructionMixer(nullptr, 0.5, 0.5, 1), std::invalid_argument);
+}
+
+TEST(Profiles, ThirtyFourUniqueBenchmarks) {
+  const auto profiles = all_profiles();
+  EXPECT_EQ(profiles.size(), 34u);
+  std::unordered_set<std::string_view> names, acronyms;
+  int hpc = 0, non_lru = 0, phased = 0;
+  for (const auto& p : profiles) {
+    EXPECT_TRUE(names.insert(p.name).second) << p.name;
+    EXPECT_TRUE(acronyms.insert(p.acronym).second) << p.acronym;
+    EXPECT_GT(p.mem_ratio, 0.0);
+    EXPECT_LE(p.mem_ratio, 1.0);
+    EXPECT_GE(p.store_ratio, 0.0);
+    EXPECT_LE(p.store_ratio, 1.0);
+    EXPECT_GT(p.ws_kb, 0.0);
+    EXPECT_GE(p.phases, 1u);
+    hpc += p.hpc;
+    non_lru += p.non_lru;
+    phased += (p.phases > 1);
+  }
+  EXPECT_EQ(hpc, 5);       // amg2013, comd, lulesh, nekbone, xsbench
+  EXPECT_GE(non_lru, 2);   // omnetpp, xalancbmk (paper §3.1)
+  EXPECT_GE(phased, 2);    // h264ref, gcc
+}
+
+TEST(Profiles, LookupByNameAndAcronym) {
+  EXPECT_EQ(profile_by_name("h264ref").acronym, "H2");
+  EXPECT_EQ(profile_by_name("H2").name, "h264ref");
+  EXPECT_TRUE(profile_by_name("omnetpp").non_lru);
+  EXPECT_TRUE(profile_by_name("xalancbmk").non_lru);
+  EXPECT_THROW(profile_by_name("quake3"), std::out_of_range);
+}
+
+TEST(Profiles, GeneratorsBuildAndAreDeterministic) {
+  for (const auto& p : all_profiles()) {
+    auto a = make_generator(p, kCtx, 99);
+    auto b = make_generator(p, kCtx, 99);
+    ASSERT_NE(a, nullptr) << p.name;
+    for (int i = 0; i < 200; ++i) {
+      const MemRef ra = a->next();
+      const MemRef rb = b->next();
+      EXPECT_EQ(ra.block, rb.block) << p.name;
+      EXPECT_EQ(ra.gap, rb.gap) << p.name;
+      EXPECT_EQ(ra.is_store, rb.is_store) << p.name;
+    }
+  }
+}
+
+TEST(Workloads, Table1Lists) {
+  const auto singles = single_core_workloads();
+  const auto duals = dual_core_workloads();
+  EXPECT_EQ(singles.size(), 34u);
+  EXPECT_EQ(duals.size(), 17u);
+
+  // Every dual-core pair uses valid benchmarks, and each of the 34
+  // benchmarks appears exactly once across the pairs (Table 1).
+  std::unordered_set<std::string> used;
+  for (const auto& w : duals) {
+    ASSERT_EQ(w.benchmarks.size(), 2u) << w.name;
+    for (const auto& b : w.benchmarks) {
+      EXPECT_NO_THROW(profile_by_name(b));
+      EXPECT_TRUE(used.insert(b).second) << b << " reused";
+    }
+  }
+  EXPECT_EQ(used.size(), 34u);
+}
+
+TEST(Workloads, PairNamesMatchPaper) {
+  const auto duals = dual_core_workloads();
+  EXPECT_EQ(duals.front().name, "GmDl");
+  EXPECT_EQ(duals.back().name, "CoAm");
+  bool has_gkne = false;
+  for (const auto& w : duals) has_gkne |= (w.name == "GkNe");
+  EXPECT_TRUE(has_gkne);
+}
+
+}  // namespace
+}  // namespace esteem::trace
