@@ -1,0 +1,81 @@
+// Resilience cliff for ECC-extended refresh under live fault injection.
+//
+// The ECC extension is provisioned analytically for the configured
+// retention spread (line-failure probability <= the 1e-9 target), so at
+// the chosen extension corrections should be the whole story. This bench
+// widens sigma step by step and shows the transition: a clean run, then a
+// growing correctable tail, then — once the analytic model and the sampled
+// weak-cell population disagree badly enough — refetches, data-loss events,
+// and retired (disabled) slots.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "edram/ecc.hpp"
+#include "sim/experiment.hpp"
+
+namespace {
+using namespace esteem;
+}  // namespace
+
+int main() {
+  const instr_t instr = bench::instr_per_core() / 4;
+  SystemConfig base_cfg = bench::scaled_single(instr);
+  bench::print_scale_banner("Fault injection: ECC-extended refresh resilience",
+                            base_cfg, instr);
+
+  const std::string benchmark = "h264ref";
+  const std::vector<double> sigmas{0.35, 0.5, 0.65, 0.8, 1.0};
+
+  sim::RunSpec ref_spec;
+  ref_spec.config = base_cfg;
+  ref_spec.technique = sim::Technique::EccExtended;
+  ref_spec.workload = {benchmark, {benchmark}};
+  ref_spec.instr_per_core = instr;
+  ref_spec.warmup_instr_per_core = instr / 5;
+  ref_spec.seed = bench::seed();
+  const sim::RunOutcome ref = sim::run_experiment(ref_spec);
+
+  TextTable t;
+  t.set_header({"sigma", "ext", "line-events", "corrected", "corr-reads",
+                "refetch", "data-loss", "disabled", "dE-total%", "dIPC%"});
+  for (double sigma : sigmas) {
+    sim::RunSpec spec = ref_spec;
+    spec.config.faults.enabled = true;
+    spec.config.faults.sigma = sigma;
+    const sim::RunOutcome out = sim::run_experiment(spec);
+
+    const edram::CellRetentionModel model{spec.config.faults.median_multiple,
+                                          sigma};
+    const std::uint32_t bits = spec.config.l2.geom.line_bytes * 8;
+    const std::uint32_t ext = edram::max_safe_extension(
+        bits, spec.config.edram.ecc_correctable,
+        spec.config.edram.ecc_target_line_failure, model,
+        spec.config.faults.max_tracked_extension);
+
+    const double de = (out.energy.total_j() / ref.energy.total_j() - 1.0) * 100.0;
+    const double dipc = (out.raw.ipc[0] / ref.raw.ipc[0] - 1.0) * 100.0;
+    const edram::FaultCounters& fc = out.raw.faults;
+    t.add_row({fmt(sigma, 2), std::to_string(ext),
+               std::to_string(fc.corrected_lines + fc.uncorrectable()),
+               std::to_string(fc.corrected_lines),
+               std::to_string(fc.corrected_reads),
+               std::to_string(fc.refetches),
+               std::to_string(fc.data_loss_events),
+               std::to_string(fc.disabled_lines), fmt(de, 3), fmt(dipc, 3)});
+  }
+  std::printf("%s, ECC-extended, faults on (vs. faults off):\n%s\n",
+              benchmark.c_str(), t.to_string().c_str());
+
+  std::printf(
+      "Expected shape: the provisioned extension shrinks as sigma widens (a\n"
+      "wider spread reaches the analytic target sooner), and once sigma is\n"
+      "extreme the weak tail reaches the nominal interval itself: corrections\n"
+      "appear even at extension 1. As long as the analytic target holds,\n"
+      "everything the tail produces is corrected (refetch/data-loss/disabled\n"
+      "all zero) at a small energy and IPC cost. Counts are seeded and\n"
+      "reproducible (ESTEEM_SEED moves the workload streams; the weak-cell\n"
+      "map is keyed by the [faults] seed).\n");
+  return 0;
+}

@@ -16,6 +16,7 @@ SetAssocCache::SetAssocCache(const CacheParams& params, std::string name)
   blocks_.assign(slots, kInvalidBlock);
   valid_.assign(slots, 0);
   dirty_.assign(slots, 0);
+  disabled_.assign(slots, 0);
   stamp_.assign(slots, 0);
   active_.assign(sets_, ways_);
 }
@@ -35,6 +36,7 @@ AccessOutcome SetAssocCache::access(block_t blk, bool is_store, cycle_t now) {
         if (v != w && valid_[base + v] && stamp_[base + v] > stamp_[base + w]) ++pos;
       }
       out.hit = true;
+      out.way = w;
       out.lru_pos = pos;
       stamp_[base + w] = ++stamp_counter_;
       if (is_store) dirty_[base + w] = 1;
@@ -44,11 +46,13 @@ AccessOutcome SetAssocCache::access(block_t blk, bool is_store, cycle_t now) {
     }
   }
 
-  // Miss: pick an invalid active slot, else the LRU valid line.
+  // Miss: pick an invalid usable active slot, else the LRU valid line.
+  // Disabled (fault-retired) slots are never allocated.
   ++stats_.misses;
-  std::uint32_t victim_way = active;  // sentinel
+  std::uint32_t victim_way = kNoWay;
   std::uint64_t oldest = ~std::uint64_t{0};
   for (std::uint32_t w = 0; w < active; ++w) {
+    if (disabled_[base + w]) continue;
     if (!valid_[base + w]) {
       victim_way = w;
       break;
@@ -58,6 +62,7 @@ AccessOutcome SetAssocCache::access(block_t blk, bool is_store, cycle_t now) {
       victim_way = w;
     }
   }
+  if (victim_way == kNoWay) return out;  // every usable way disabled: bypass
 
   if (valid_[base + victim_way]) {
     out.victim = blocks_[base + victim_way];
@@ -75,6 +80,7 @@ AccessOutcome SetAssocCache::access(block_t blk, bool is_store, cycle_t now) {
   dirty_[base + victim_way] = is_store ? 1 : 0;
   stamp_[base + victim_way] = ++stamp_counter_;
   ++valid_count_;
+  out.way = victim_way;
   if (listener_ != nullptr) listener_->on_fill(set, victim_way, blk, now);
   return out;
 }
@@ -116,6 +122,18 @@ bool SetAssocCache::invalidate_slot(std::uint32_t set, std::uint32_t way, cycle_
   --valid_count_;
   if (listener_ != nullptr) listener_->on_invalidate(set, way, was_dirty, now);
   return was_dirty;
+}
+
+bool SetAssocCache::disable_slot(std::uint32_t set, std::uint32_t way, cycle_t now) {
+  if (set >= sets_ || way >= ways_) {
+    throw std::out_of_range("disable_slot: bad slot");
+  }
+  const std::size_t i = idx(set, way);
+  if (disabled_[i]) return false;
+  invalidate_slot(set, way, now);
+  disabled_[i] = 1;
+  ++disabled_count_;
+  return true;
 }
 
 void SetAssocCache::resize_set(std::uint32_t set, std::uint32_t new_active,

@@ -28,8 +28,15 @@ class LineListener {
                              cycle_t now) = 0;
 };
 
+/// Sentinel way index: the access neither hit nor allocated a slot (every
+/// usable way of the set was disabled).
+inline constexpr std::uint32_t kNoWay = ~std::uint32_t{0};
+
 struct AccessOutcome {
   bool hit = false;
+  /// Way of the slot the block occupies after the access (hit or fill);
+  /// kNoWay when the access could not allocate.
+  std::uint32_t way = kNoWay;
   /// On a hit: recency position of the line among valid lines in its set
   /// (0 = MRU). Undefined on a miss.
   std::uint32_t lru_pos = 0;
@@ -82,6 +89,18 @@ class SetAssocCache {
 
   std::uint32_t active_ways(std::uint32_t set) const noexcept { return active_[set]; }
 
+  /// Permanently retires a slot (fault-induced capacity degradation): any
+  /// resident line is invalidated (listener notified) and the slot is never
+  /// allocated again. Returns false if the slot was already disabled.
+  bool disable_slot(std::uint32_t set, std::uint32_t way, cycle_t now);
+
+  bool slot_disabled(std::uint32_t set, std::uint32_t way) const noexcept {
+    return disabled_[idx(set, way)] != 0;
+  }
+
+  /// Number of slots retired by disable_slot().
+  std::uint64_t disabled_slots() const noexcept { return disabled_count_; }
+
   /// Number of currently valid lines (maintained incrementally).
   std::uint64_t valid_lines() const noexcept { return valid_count_; }
 
@@ -119,11 +138,13 @@ class SetAssocCache {
   std::vector<block_t> blocks_;
   std::vector<std::uint8_t> valid_;
   std::vector<std::uint8_t> dirty_;
+  std::vector<std::uint8_t> disabled_;
   std::vector<std::uint64_t> stamp_;   // recency: larger = more recent
   std::vector<std::uint32_t> active_;  // active way count per set
 
   std::uint64_t stamp_counter_ = 0;
   std::uint64_t valid_count_ = 0;
+  std::uint64_t disabled_count_ = 0;
   CacheStats stats_;
   LineListener* listener_ = nullptr;
 };

@@ -64,6 +64,12 @@ void SystemConfig::validate() const {
   require(esteem.sampling_ratio >= 1, "sampling ratio must be >= 1");
   require(esteem.history_weight >= 0.0 && esteem.history_weight < 1.0,
           "history weight must be in [0,1)");
+
+  require(faults.median_multiple > 0.0, "fault median multiple must be positive");
+  require(faults.sigma > 0.0, "fault sigma must be positive");
+  require(faults.disable_threshold >= 1, "fault disable threshold must be >= 1");
+  require(faults.max_tracked_extension >= 1,
+          "fault max tracked extension must be >= 1");
 }
 
 }  // namespace esteem

@@ -71,6 +71,31 @@ struct MemoryConfig {
   double bandwidth_gbps = 10.0;
 };
 
+/// Retention-fault injection (off by default). When enabled, a deterministic
+/// per-line weak-cell map is sampled from the lognormal cell-retention
+/// distribution and real decay events are threaded through the cache: lines
+/// with few failed bits are ECC-corrected (latency + energy penalty), clean
+/// uncorrectable lines are silently invalidated and re-fetched, dirty
+/// uncorrectable lines count as data loss, and repeat offenders are disabled
+/// (way-level capacity degradation).
+struct FaultConfig {
+  bool enabled = false;
+  /// Seed of the weak-cell map (independent of the workload seed so the
+  /// same physical cache can be reused across workloads).
+  std::uint64_t seed = 0xEDAC;
+  /// Median cell retention as a multiple of the nominal period (see
+  /// edram::CellRetentionModel).
+  double median_multiple = 32.0;
+  /// Sigma of ln(retention).
+  double sigma = 0.35;
+  /// Extra cycles an L2 hit pays when the line holds ECC-corrected bits.
+  std::uint32_t correction_latency_cycles = 3;
+  /// Uncorrectable events on the same line before it is disabled.
+  std::uint32_t disable_threshold = 3;
+  /// Largest refresh-interval extension the weak-cell map resolves.
+  std::uint32_t max_tracked_extension = 16;
+};
+
 /// Parameters of the ESTEEM energy-saving algorithm (§3, §4, §7).
 struct EsteemParams {
   /// Hit-coverage threshold: keep enough ways on to cover >= alpha * hits.
@@ -123,6 +148,7 @@ struct SystemConfig {
   MemoryConfig mem;
   EdramConfig edram;
   EsteemParams esteem;
+  FaultConfig faults;
 
   cycle_t retention_cycles() const noexcept {
     return static_cast<cycle_t>(edram.retention_us * 1000.0 * freq_ghz);

@@ -136,6 +136,31 @@ const std::map<std::string, Setter>& setters() {
        [](SystemConfig& c, const std::string& v, const std::string& k) {
          c.esteem.shrink_confirm_intervals = static_cast<std::uint32_t>(parse_u64(v, k));
        }},
+      {"faults.enabled", [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.faults.enabled = parse_bool(v, k);
+       }},
+      {"faults.seed", [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.faults.seed = parse_u64(v, k);
+       }},
+      {"faults.median_multiple",
+       [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.faults.median_multiple = parse_double(v, k);
+       }},
+      {"faults.sigma", [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.faults.sigma = parse_double(v, k);
+       }},
+      {"faults.correction_latency",
+       [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.faults.correction_latency_cycles = static_cast<std::uint32_t>(parse_u64(v, k));
+       }},
+      {"faults.disable_threshold",
+       [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.faults.disable_threshold = static_cast<std::uint32_t>(parse_u64(v, k));
+       }},
+      {"faults.max_tracked_extension",
+       [](SystemConfig& c, const std::string& v, const std::string& k) {
+         c.faults.max_tracked_extension = static_cast<std::uint32_t>(parse_u64(v, k));
+       }},
   };
   return kSetters;
 }
@@ -219,7 +244,15 @@ void save_config(const SystemConfig& cfg, std::ostream& out) {
       << "history_weight = " << cfg.esteem.history_weight << "\n"
       << "max_way_delta = " << cfg.esteem.max_way_delta << "\n"
       << "hysteresis_intervals = " << cfg.esteem.hysteresis_intervals << "\n"
-      << "shrink_confirm_intervals = " << cfg.esteem.shrink_confirm_intervals << "\n";
+      << "shrink_confirm_intervals = " << cfg.esteem.shrink_confirm_intervals << "\n\n"
+      << "[faults]\n"
+      << "enabled = " << (cfg.faults.enabled ? "true" : "false") << "\n"
+      << "seed = " << cfg.faults.seed << "\n"
+      << "median_multiple = " << cfg.faults.median_multiple << "\n"
+      << "sigma = " << cfg.faults.sigma << "\n"
+      << "correction_latency = " << cfg.faults.correction_latency_cycles << "\n"
+      << "disable_threshold = " << cfg.faults.disable_threshold << "\n"
+      << "max_tracked_extension = " << cfg.faults.max_tracked_extension << "\n";
 }
 
 void save_config_file(const SystemConfig& cfg, const std::string& path) {

@@ -57,9 +57,16 @@ MemorySystem::MemorySystem(const SystemConfig& cfg, Technique technique)
           std::max<cycle_t>(1, retention / cfg.edram.rpv_phases));
       break;
     case Technique::EccExtended: {
+      edram::CellRetentionModel model;
+      if (cfg.faults.enabled) {
+        // The extension must be chosen against the same cell population the
+        // injector samples from, or the safety target is meaningless.
+        model.median_multiple = cfg.faults.median_multiple;
+        model.sigma = cfg.faults.sigma;
+      }
       const std::uint32_t ext = edram::max_safe_extension(
           /*bits_per_line=*/cfg.l2.geom.line_bytes * 8, cfg.edram.ecc_correctable,
-          cfg.edram.ecc_target_line_failure, edram::CellRetentionModel{});
+          cfg.edram.ecc_target_line_failure, model);
       policy_ = std::make_unique<edram::EccRefreshPolicy>(retention, ext);
       break;
     }
@@ -91,10 +98,43 @@ MemorySystem::MemorySystem(const SystemConfig& cfg, Technique technique)
   engine_ = std::make_unique<edram::RefreshEngine>(
       *policy_, &banks_, static_cast<double>(cfg.retention_cycles()));
   engine_->sync_bank_load(0);
+
+  if (cfg_.faults.enabled) {
+    edram::CellRetentionModel model;
+    model.median_multiple = cfg_.faults.median_multiple;
+    model.sigma = cfg_.faults.sigma;
+    if (technique_ == Technique::EccExtended) {
+      auto* ecc = static_cast<edram::EccRefreshPolicy*>(policy_.get());
+      fault_extension_ = ecc->extension();
+      fault_correctable_ = cfg_.edram.ecc_correctable;
+    }
+    faults_ = std::make_unique<edram::FaultInjector>(
+        cfg_.faults, l2_.sets(), l2_.ways(), cfg_.l2.geom.line_bytes * 8, model);
+    fault_epoch_cycles_ = retention * fault_extension_;
+    fault_next_epoch_ = fault_epoch_cycles_;
+  }
+}
+
+void MemorySystem::pump_faults(cycle_t now) {
+  if (!faults_) return;
+  while (now >= fault_next_epoch_) {
+    const cycle_t boundary = fault_next_epoch_;
+    faults_->on_refresh_epoch(
+        l2_, fault_extension_, fault_correctable_, boundary,
+        [&](block_t blk, bool) {
+          // Inclusion: a line dropped from L2 must leave the L1s too. A
+          // dirty L1 copy means the freshest data is lost with it.
+          bool upper_dirty = false;
+          for (auto& l1 : l1_) upper_dirty |= l1.invalidate(blk, boundary);
+          return upper_dirty;
+        });
+    fault_next_epoch_ += fault_epoch_cycles_;
+  }
 }
 
 cycle_t MemorySystem::l2_access(block_t block, bool is_store, cycle_t now, bool demand) {
   engine_->advance(now);
+  pump_faults(now);
   const std::uint32_t set = l2_.set_index_of(block);
   if (profiler_) profiler_->record_access(set);
   const cycle_t bank_wait = banks_.access(set, now);
@@ -108,6 +148,11 @@ cycle_t MemorySystem::l2_access(block_t block, bool is_store, cycle_t now, bool 
     // per-interval sample count.
     if (profiler_) profiler_->record_hit(set, out.lru_pos);
     if (demand) ++stats_.demand_l2_hits;
+    if (faults_ && faults_->corrected_hit(set, out.way)) {
+      // Reading a line with decayed-but-correctable bits goes through the
+      // ECC decoder's correction path.
+      latency += cfg_.faults.correction_latency_cycles;
+    }
   } else {
     if (demand) {
       ++stats_.demand_l2_misses;
@@ -116,6 +161,7 @@ cycle_t MemorySystem::l2_access(block_t block, bool is_store, cycle_t now, bool 
     }
     // A writeback that misses L2 allocates without a memory fetch: the whole
     // line is being written.
+    if (faults_ && out.way != cache::kNoWay) faults_->on_fill_slot(set, out.way);
   }
 
   if (out.victim != kInvalidBlock) {
@@ -150,6 +196,7 @@ cycle_t MemorySystem::access(std::uint32_t core, block_t block, bool is_store,
 
 void MemorySystem::tick_interval(cycle_t now) {
   engine_->advance(now);
+  pump_faults(now);
 
   // Close the F_A integral over the elapsed window at the old value.
   fa_cycles_ += fa_current_ * static_cast<double>(now - fa_last_update_);
@@ -183,6 +230,8 @@ void MemorySystem::tick_interval(cycle_t now) {
 
 void MemorySystem::reset_measurement(cycle_t now) {
   engine_->advance(now);
+  pump_faults(now);
+  if (faults_) faults_->reset_counters();
   l2_.reset_stats();
   for (auto& l1 : l1_) l1.reset_stats();
   mm_.reset_stats();
@@ -203,6 +252,7 @@ void MemorySystem::reset_measurement(cycle_t now) {
 
 void MemorySystem::finish(cycle_t now) {
   engine_->advance(now);
+  pump_faults(now);
   fa_cycles_ += fa_current_ * static_cast<double>(now - fa_last_update_);
   fa_last_update_ = now;
 }
@@ -219,6 +269,7 @@ energy::EnergyCounters MemorySystem::energy_counters(cycle_t now) const {
   c.refreshes = refreshes();
   c.mm_accesses = mm_.stats().reads + mm_.stats().writes;
   c.transitions = stats_.reconfig_transitions;
+  if (faults_) c.ecc_corrections = faults_->counters().corrected_reads;
   return c;
 }
 

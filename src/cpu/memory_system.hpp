@@ -16,6 +16,7 @@
 #include "core/controller.hpp"
 #include "cpu/technique.hpp"
 #include "edram/decay.hpp"
+#include "edram/fault_injection.hpp"
 #include "edram/refresh_engine.hpp"
 #include "edram/refresh_policy.hpp"
 #include "energy/energy_model.hpp"
@@ -70,6 +71,15 @@ class MemorySystem {
   /// Current F_A (1.0 for non-ESTEEM techniques).
   double active_fraction() const noexcept;
 
+  /// Fault-injection event counters for the measurement window (all zero
+  /// when [faults] is disabled).
+  edram::FaultCounters fault_counters() const noexcept {
+    return faults_ ? faults_->counters() : edram::FaultCounters{};
+  }
+
+  /// Slots retired by repeated uncorrectable failures (cumulative state).
+  std::uint64_t disabled_slots() const noexcept { return l2_.disabled_slots(); }
+
   /// Per-module active way counts (for the Figure 2 timeline); empty for
   /// non-ESTEEM techniques.
   std::vector<std::uint32_t> module_active_ways() const;
@@ -79,6 +89,9 @@ class MemorySystem {
 
  private:
   cycle_t l2_access(block_t block, bool is_store, cycle_t now, bool demand);
+
+  /// Processes fault-injection refresh epochs scheduled up to `now`.
+  void pump_faults(cycle_t now);
 
   SystemConfig cfg_;
   Technique technique_;
@@ -91,6 +104,13 @@ class MemorySystem {
 
   std::unique_ptr<edram::RefreshPolicy> policy_;
   std::unique_ptr<edram::RefreshEngine> engine_;
+
+  // Fault injection (null when [faults] is disabled).
+  std::unique_ptr<edram::FaultInjector> faults_;
+  std::uint32_t fault_extension_ = 1;   ///< Effective refresh-interval extension.
+  std::uint32_t fault_correctable_ = 0; ///< ECC strength seen by the injector.
+  cycle_t fault_epoch_cycles_ = 0;
+  cycle_t fault_next_epoch_ = 0;
 
   // CacheDecay-only bookkeeping (view into policy_ when active).
   edram::CacheDecayPolicy* decay_ = nullptr;

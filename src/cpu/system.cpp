@@ -121,6 +121,8 @@ RawRunResult System::run(const RunOptions& options) {
   result.mem_stats = mem_.stats();
   result.refreshes = mem_.refreshes();
   result.demand_misses = mem_.stats().demand_l2_misses;
+  result.faults = mem_.fault_counters();
+  result.disabled_slots = mem_.disabled_slots();
   result.avg_active_ratio =
       result.counters.seconds > 0.0 ? result.counters.fa_seconds / result.counters.seconds
                                     : 1.0;

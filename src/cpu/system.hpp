@@ -38,6 +38,8 @@ struct RawRunResult {
   std::uint64_t refreshes = 0;         ///< N_R over the run.
   std::uint64_t demand_misses = 0;     ///< L2 demand misses over the run.
   double avg_active_ratio = 1.0;       ///< Time-weighted F_A.
+  edram::FaultCounters faults;         ///< Fault-injection events (zero when off).
+  std::uint64_t disabled_slots = 0;    ///< L2 slots retired by faults (state).
   std::vector<IntervalSample> timeline;
 };
 

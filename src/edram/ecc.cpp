@@ -23,6 +23,10 @@ double cell_failure_probability(double extension, const CellRetentionModel& mode
 double line_failure_probability(std::uint32_t bits_per_line, std::uint32_t correctable,
                                 double extension, const CellRetentionModel& model) {
   if (bits_per_line == 0) throw std::invalid_argument("ecc: empty line");
+  // A code that corrects every cell in the line can never lose it. Without
+  // this guard the binomial loop below would take log() of a negative
+  // coefficient for k > bits_per_line and return NaN.
+  if (correctable >= bits_per_line) return 0.0;
   const double p = cell_failure_probability(extension, model);
   if (p <= 0.0) return 0.0;
   if (p >= 1.0) return 1.0;

@@ -1,0 +1,138 @@
+#include "edram/fault_injection.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace esteem::edram {
+
+FaultInjector::FaultInjector(const FaultConfig& cfg, std::uint32_t sets,
+                             std::uint32_t ways, std::uint32_t bits_per_line,
+                             const CellRetentionModel& model)
+    : sets_(sets),
+      ways_(ways),
+      max_ext_(cfg.max_tracked_extension),
+      disable_threshold_(cfg.disable_threshold) {
+  if (sets_ == 0 || ways_ == 0) {
+    throw std::invalid_argument("fault injector: empty cache");
+  }
+  if (bits_per_line == 0 || bits_per_line > 0xFFFF) {
+    throw std::invalid_argument("fault injector: bits per line must be in [1, 65535]");
+  }
+  if (max_ext_ == 0) {
+    throw std::invalid_argument("fault injector: zero tracked extension");
+  }
+
+  const std::size_t slots = static_cast<std::size_t>(sets_) * ways_;
+  fail_at_.assign(slots * max_ext_, 0);
+  streak_.assign(slots, 0);
+  corrected_.assign(slots, 0);
+
+  // Per-extension cell-failure probabilities; p_k[max_ext_-1] caps the weak
+  // tail we materialise (cells above it never decay within tracked range).
+  std::vector<double> p_k(max_ext_);
+  for (std::uint32_t k = 1; k <= max_ext_; ++k) {
+    p_k[k - 1] = cell_failure_probability(static_cast<double>(k), model);
+  }
+  const double p_cap = p_k[max_ext_ - 1];
+  if (p_cap <= 0.0) return;  // no cell is weak within the tracked range
+
+  const double log1mp = std::log1p(-std::min(p_cap, 1.0 - 1e-15));
+  for (std::size_t s = 0; s < slots; ++s) {
+    // Independent deterministic stream per slot: the map depends only on
+    // (seed, slot), not on sampling order or workload.
+    std::uint64_t seed_state = cfg.seed + 0x9E3779B97F4A7C15ULL * (s + 1);
+    Rng rng(splitmix64(seed_state));
+
+    // Weak-cell positions via geometric skips: E[iterations] = bits * p_cap.
+    double pos = -1.0;
+    for (;;) {
+      const double u = rng.uniform();
+      pos += 1.0 + std::floor(std::log1p(-u) / log1mp);
+      if (pos >= static_cast<double>(bits_per_line)) break;
+      // This cell's retention quantile, uniform within the weak tail: it
+      // starts failing at the smallest k with p_k >= u2.
+      const double u2 = p_cap * rng.uniform();
+      std::uint32_t fail_from = 1;
+      while (fail_from <= max_ext_ && p_k[fail_from - 1] <= u2) ++fail_from;
+      for (std::uint32_t k = fail_from; k <= max_ext_; ++k) {
+        std::uint16_t& c = fail_at_[s * max_ext_ + (k - 1)];
+        if (c < 0xFFFF) ++c;
+      }
+    }
+  }
+}
+
+std::uint32_t FaultInjector::failed_bits(std::uint32_t set, std::uint32_t way,
+                                         std::uint32_t extension) const {
+  if (extension == 0) return 0;
+  const std::uint32_t k = std::min(extension, max_ext_);
+  return fail_at_[slot(set, way) * max_ext_ + (k - 1)];
+}
+
+void FaultInjector::on_refresh_epoch(cache::SetAssocCache& l2,
+                                     std::uint32_t extension,
+                                     std::uint32_t correctable, cycle_t now,
+                                     const DropHook& on_drop) {
+  ++counters_.scans;
+  for (std::uint32_t set = 0; set < sets_; ++set) {
+    for (std::uint32_t way = 0; way < ways_; ++way) {
+      const std::size_t i = slot(set, way);
+      if (l2.slot_disabled(set, way) || !l2.slot_valid(set, way)) {
+        corrected_[i] = 0;
+        continue;
+      }
+      const std::uint32_t failed = failed_bits(set, way, extension);
+      if (failed == 0) {
+        corrected_[i] = 0;
+        streak_[i] = 0;
+        continue;
+      }
+      if (failed <= correctable) {
+        ++counters_.corrected_lines;
+        corrected_[i] = 1;
+        streak_[i] = 0;
+        continue;
+      }
+      // Detected-uncorrectable: the line's content is gone. Clean lines can
+      // be re-fetched from memory; dirty ones cannot.
+      const block_t blk = l2.slot_block(set, way);
+      const bool l2_dirty = l2.slot_dirty(set, way);
+      l2.invalidate_slot(set, way, now);
+      corrected_[i] = 0;
+      const bool upper_dirty = on_drop ? on_drop(blk, l2_dirty) : false;
+      if (l2_dirty || upper_dirty) {
+        ++counters_.data_loss_events;
+      } else {
+        ++counters_.refetches;
+      }
+      if (streak_[i] < 0xFF) ++streak_[i];
+      if (streak_[i] >= disable_threshold_) {
+        if (l2.disable_slot(set, way, now)) ++counters_.disabled_lines;
+      }
+    }
+  }
+}
+
+bool FaultInjector::corrected_hit(std::uint32_t set, std::uint32_t way) {
+  if (way >= ways_ || corrected_[slot(set, way)] == 0) return false;
+  ++counters_.corrected_reads;
+  return true;
+}
+
+void FaultInjector::on_fill_slot(std::uint32_t set, std::uint32_t way) {
+  if (way < ways_) corrected_[slot(set, way)] = 0;
+}
+
+std::uint64_t FaultInjector::total_weak_cells(std::uint32_t extension) const {
+  std::uint64_t total = 0;
+  for (std::uint32_t set = 0; set < sets_; ++set) {
+    for (std::uint32_t way = 0; way < ways_; ++way) {
+      total += failed_bits(set, way, extension);
+    }
+  }
+  return total;
+}
+
+}  // namespace esteem::edram

@@ -1,0 +1,119 @@
+// Retention-fault injection for the eDRAM LLC.
+//
+// The analytic ECC model (ecc.hpp) computes closed-form failure
+// probabilities; this subsystem makes those failures *happen* so that
+// ECC-extended refresh and graceful degradation can be stress-tested
+// end-to-end (the evaluation style of Wilkerson et al. and Agrawal et al.).
+//
+// A deterministic per-line weak-cell map is sampled once from the lognormal
+// CellRetentionModel (seeded, reproducible): for every (set, way) slot we
+// record how many of its cells lose charge when the line goes k nominal
+// retention periods without refresh, for k = 1..max_tracked_extension. At
+// every refresh-interval expiry the injector classifies each valid line:
+//
+//   failed bits == 0           -> clean
+//   0 < failed <= correctable  -> corrected   (reads pay an ECC penalty)
+//   failed > correctable       -> detected-uncorrectable: clean lines are
+//                                 silently invalidated (re-fetched from
+//                                 memory on the next miss); dirty lines are
+//                                 data-loss events. Slots that fail
+//                                 repeatedly are disabled and remapped
+//                                 (way-level capacity degradation).
+//
+// At the nominal refresh interval (extension 1) the weak tail lies ~10
+// sigma below the median, so no cell ever decays and an enabled injector
+// is metric-identical to a disabled one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "edram/ecc.hpp"
+
+namespace esteem::edram {
+
+/// Event counters over one measurement window. Disabled-line state is
+/// physical and survives reset_counters(); the counters here are events.
+struct FaultCounters {
+  std::uint64_t scans = 0;              ///< Refresh epochs processed.
+  std::uint64_t corrected_lines = 0;    ///< Line-epochs with 1..t failed bits.
+  std::uint64_t corrected_reads = 0;    ///< Hits that paid the ECC decode penalty.
+  std::uint64_t refetches = 0;          ///< Clean uncorrectable invalidations.
+  std::uint64_t data_loss_events = 0;   ///< Dirty uncorrectable invalidations.
+  std::uint64_t disabled_lines = 0;     ///< Slots retired this window.
+
+  std::uint64_t uncorrectable() const noexcept {
+    return refetches + data_loss_events;
+  }
+};
+
+class FaultInjector {
+ public:
+  /// Samples the weak-cell map. `bits_per_line` must be < 65536.
+  FaultInjector(const FaultConfig& cfg, std::uint32_t sets, std::uint32_t ways,
+                std::uint32_t bits_per_line, const CellRetentionModel& model);
+
+  /// Cells of slot (set, way) that decay within `extension` nominal
+  /// retention periods (clamped to the tracked range).
+  std::uint32_t failed_bits(std::uint32_t set, std::uint32_t way,
+                            std::uint32_t extension) const;
+
+  /// Called by the upper level when a fill drops an upper-level (L1) copy of
+  /// `block`; returns true if that copy was dirty (so the loss of the line
+  /// counts as data loss even when the L2 copy was clean).
+  using DropHook = std::function<bool(block_t block, bool l2_dirty)>;
+
+  /// One refresh-interval expiry over the whole cache: every valid line has
+  /// gone `extension` nominal periods since its last charge restore.
+  /// Classifies each line, invalidates uncorrectable ones (calling
+  /// `on_drop`, e.g. for inclusion back-invalidation), and disables slots
+  /// whose uncorrectable streak reaches the configured threshold.
+  void on_refresh_epoch(cache::SetAssocCache& l2, std::uint32_t extension,
+                        std::uint32_t correctable, cycle_t now,
+                        const DropHook& on_drop);
+
+  /// Access-path hook for an L2 hit on (set, way). Returns true (and counts
+  /// a corrected read) when the line currently holds ECC-corrected bits, in
+  /// which case the caller adds the correction latency.
+  bool corrected_hit(std::uint32_t set, std::uint32_t way);
+
+  /// Access-path hook for a fill into (set, way): fresh data means fully
+  /// restored charge, so any stale corrected flag is cleared.
+  void on_fill_slot(std::uint32_t set, std::uint32_t way);
+
+  const FaultCounters& counters() const noexcept { return counters_; }
+
+  /// Zeroes the event counters (measurement reset). Weak-cell map, failure
+  /// streaks, and disabled slots are physical state and persist.
+  void reset_counters() noexcept { counters_ = {}; }
+
+  std::uint32_t max_tracked_extension() const noexcept { return max_ext_; }
+
+  /// Total weak cells in the map that decay within `extension` periods
+  /// (diagnostic; sums failed_bits over all slots).
+  std::uint64_t total_weak_cells(std::uint32_t extension) const;
+
+ private:
+  std::size_t slot(std::uint32_t set, std::uint32_t way) const noexcept {
+    return static_cast<std::size_t>(set) * ways_ + way;
+  }
+
+  std::uint32_t sets_;
+  std::uint32_t ways_;
+  std::uint32_t max_ext_;
+  std::uint32_t disable_threshold_;
+
+  /// fail_at_[slot * max_ext_ + (k-1)] = cells failing within k periods
+  /// (cumulative in k).
+  std::vector<std::uint16_t> fail_at_;
+  std::vector<std::uint8_t> streak_;     ///< Consecutive uncorrectable epochs.
+  std::vector<std::uint8_t> corrected_;  ///< Line currently holds corrected bits.
+
+  FaultCounters counters_;
+};
+
+}  // namespace esteem::edram

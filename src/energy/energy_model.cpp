@@ -10,6 +10,7 @@ EnergyCounters& EnergyCounters::operator+=(const EnergyCounters& o) {
   refreshes += o.refreshes;
   mm_accesses += o.mm_accesses;
   transitions += o.transitions;
+  ecc_corrections += o.ecc_corrections;
   return *this;
 }
 
@@ -22,6 +23,8 @@ EnergyBreakdown compute_energy(const EnergyModelParams& params,
                (2.0 * static_cast<double>(c.l2_misses) + static_cast<double>(c.l2_hits));  // (5)
   e.refresh_l2_j = static_cast<double>(c.refreshes) *
                    params.l2.e_dyn_nj_per_access * kNj;                       // (6)
+  e.ecc_l2_j = static_cast<double>(c.ecc_corrections) *
+               params.l2.e_dyn_nj_per_access * kNj;  // correction pass
   e.mm_j = params.mm_leak_w * c.seconds +
            params.mm_dyn_nj * kNj * static_cast<double>(c.mm_accesses);       // (7)
   e.algo_j = params.e_chi_nj * kNj * static_cast<double>(c.transitions);      // (8)

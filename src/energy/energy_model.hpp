@@ -29,6 +29,8 @@ struct EnergyCounters {
   std::uint64_t refreshes = 0;     ///< N_R (lines refreshed)
   std::uint64_t mm_accesses = 0;   ///< A_MM (fills + writebacks)
   std::uint64_t transitions = 0;   ///< N_L (blocks power-gated on/off)
+  std::uint64_t ecc_corrections = 0;  ///< Reads that exercised ECC correction
+                                      ///< (fault injection; 0 otherwise).
 
   EnergyCounters& operator+=(const EnergyCounters& o);
 };
@@ -37,10 +39,14 @@ struct EnergyBreakdown {
   double leak_l2_j = 0.0;
   double dyn_l2_j = 0.0;
   double refresh_l2_j = 0.0;
+  double ecc_l2_j = 0.0;  ///< ECC correction passes (decode + rewrite),
+                          ///< charged one dynamic access each.
   double mm_j = 0.0;
   double algo_j = 0.0;
 
-  double l2_j() const noexcept { return leak_l2_j + dyn_l2_j + refresh_l2_j; }
+  double l2_j() const noexcept {
+    return leak_l2_j + dyn_l2_j + refresh_l2_j + ecc_l2_j;
+  }
   double total_j() const noexcept { return l2_j() + mm_j + algo_j; }
 };
 

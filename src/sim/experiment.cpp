@@ -49,6 +49,11 @@ TechniqueComparison compare(const std::string& workload, Technique technique,
   c.mpki_tech = per_kilo_instructions(tech.raw.demand_misses, instr);
   c.mpki_increase = c.mpki_tech - c.mpki_base;
   c.active_ratio_pct = 100.0 * tech.raw.avg_active_ratio;
+  c.ecc_corrected_reads = tech.raw.faults.corrected_reads;
+  c.fault_refetches = tech.raw.faults.refetches;
+  c.fault_data_loss = tech.raw.faults.data_loss_events;
+  c.fault_disabled_lines = tech.raw.faults.disabled_lines;
+  c.correction_rpki = per_kilo_instructions(tech.raw.faults.corrected_reads, instr);
   return c;
 }
 

@@ -48,6 +48,13 @@ struct TechniqueComparison {
   double mpki_tech = 0.0;
   double mpki_increase = 0.0;      ///< ESTEEM metric (absolute).
   double active_ratio_pct = 100.0; ///< ESTEEM metric (time-weighted F_A).
+
+  // Resilience metrics of the technique run (all zero with faults disabled).
+  std::uint64_t ecc_corrected_reads = 0;
+  std::uint64_t fault_refetches = 0;       ///< Clean uncorrectable re-fetches.
+  std::uint64_t fault_data_loss = 0;       ///< Dirty uncorrectable losses.
+  std::uint64_t fault_disabled_lines = 0;  ///< Slots retired this run.
+  double correction_rpki = 0.0;            ///< Corrected reads per kilo-instr.
 };
 
 TechniqueComparison compare(const std::string& workload, Technique technique,

@@ -24,6 +24,20 @@ std::string figure_report(const SweepResult& result, const std::string& title) {
 
   auto emit = [&](const WorkloadRow& row) {
     std::vector<std::string> cells{row.workload};
+    if (!row.completed) {
+      // Errored workload: flag it instead of reading incomplete comparisons.
+      for (std::size_t i = 0; i < result.techniques.size(); ++i) {
+        cells.push_back("ERROR");
+        cells.push_back("-");
+        cells.push_back("-");
+        if (result.techniques[i] == Technique::Esteem) {
+          cells.push_back("-");
+          cells.push_back("-");
+        }
+      }
+      table.add_row(std::move(cells));
+      return;
+    }
     for (std::size_t i = 0; i < result.techniques.size(); ++i) {
       const TechniqueComparison& c = row.comparisons[i];
       cells.push_back(fmt(c.energy_saving_pct, 2));
@@ -37,16 +51,29 @@ std::string figure_report(const SweepResult& result, const std::string& title) {
     table.add_row(std::move(cells));
   };
 
-  for (const WorkloadRow& row : result.rows) emit(row);
+  bool any_completed = false;
+  for (const WorkloadRow& row : result.rows) {
+    any_completed |= row.completed;
+    emit(row);
+  }
 
-  WorkloadRow avg;
-  avg.workload = "average";
-  for (Technique t : result.techniques) avg.comparisons.push_back(result.summary(t));
-  table.add_separator();
-  emit(avg);
+  if (any_completed) {
+    WorkloadRow avg;
+    avg.workload = "average";
+    avg.completed = true;
+    for (Technique t : result.techniques) avg.comparisons.push_back(result.summary(t));
+    table.add_separator();
+    emit(avg);
+  }
 
   std::ostringstream os;
   os << title << '\n' << table.to_string();
+  if (!result.errors.empty()) {
+    os << "errors (" << result.errors.size() << "):\n";
+    for (const RunError& e : result.errors) {
+      os << "  " << e.workload << " [" << e.technique << "]: " << e.what << '\n';
+    }
+  }
   return os.str();
 }
 
@@ -56,14 +83,21 @@ void write_csv(const SweepResult& result, const std::string& path) {
   CsvWriter csv(path);
   csv.write_row({"workload", "technique", "energy_saving_pct", "weighted_speedup",
                  "fair_speedup", "rpki_base", "rpki_tech", "rpki_decrease", "mpki_base",
-                 "mpki_tech", "mpki_increase", "active_ratio_pct"});
+                 "mpki_tech", "mpki_increase", "active_ratio_pct",
+                 "ecc_corrected_reads", "fault_refetches", "fault_data_loss",
+                 "fault_disabled_lines"});
   for (const WorkloadRow& row : result.rows) {
+    if (!row.completed) continue;  // errored rows are reported via errors
     for (const TechniqueComparison& c : row.comparisons) {
       csv.write_row({row.workload, std::string(to_string(c.technique)),
                      fmt(c.energy_saving_pct, 4), fmt(c.weighted_speedup, 4),
                      fmt(c.fair_speedup, 4), fmt(c.rpki_base, 2), fmt(c.rpki_tech, 2),
                      fmt(c.rpki_decrease, 2), fmt(c.mpki_base, 4), fmt(c.mpki_tech, 4),
-                     fmt(c.mpki_increase, 4), fmt(c.active_ratio_pct, 2)});
+                     fmt(c.mpki_increase, 4), fmt(c.active_ratio_pct, 2),
+                     std::to_string(c.ecc_corrected_reads),
+                     std::to_string(c.fault_refetches),
+                     std::to_string(c.fault_data_loss),
+                     std::to_string(c.fault_disabled_lines)});
     }
   }
 }

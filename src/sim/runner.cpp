@@ -1,6 +1,8 @@
 #include "sim/runner.hpp"
 
 #include <atomic>
+#include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
@@ -10,26 +12,39 @@ namespace esteem::sim {
 
 namespace {
 
-WorkloadRow evaluate_workload(const SweepSpec& spec, const trace::Workload& workload) {
-  RunSpec base_spec;
-  base_spec.config = spec.config;
-  base_spec.technique = Technique::BaselinePeriodicAll;
-  base_spec.workload = workload;
-  base_spec.seed = spec.seed;
-  base_spec.instr_per_core = spec.instr_per_core;
-  base_spec.warmup_instr_per_core = spec.warmup_instr_per_core;
-
-  const RunOutcome base = run_experiment(base_spec);
-
-  WorkloadRow row;
+/// Evaluates one workload into `row`. Exceptions never escape: a failure is
+/// returned as a RunError so one bad workload cannot std::terminate a
+/// multi-hour sweep from inside a worker thread.
+std::optional<RunError> evaluate_workload(const SweepSpec& spec,
+                                          const trace::Workload& workload,
+                                          WorkloadRow& row) {
   row.workload = workload.name;
-  for (Technique t : spec.techniques) {
-    RunSpec tech_spec = base_spec;
-    tech_spec.technique = t;
-    const RunOutcome tech = run_experiment(tech_spec);
-    row.comparisons.push_back(compare(workload.name, t, base, tech));
+  std::string phase = "baseline";
+  try {
+    RunSpec base_spec;
+    base_spec.config = spec.config;
+    base_spec.technique = Technique::BaselinePeriodicAll;
+    base_spec.workload = workload;
+    base_spec.seed = spec.seed;
+    base_spec.instr_per_core = spec.instr_per_core;
+    base_spec.warmup_instr_per_core = spec.warmup_instr_per_core;
+
+    const RunOutcome base = run_experiment(base_spec);
+
+    for (Technique t : spec.techniques) {
+      phase = std::string(to_string(t));
+      RunSpec tech_spec = base_spec;
+      tech_spec.technique = t;
+      const RunOutcome tech = run_experiment(tech_spec);
+      row.comparisons.push_back(compare(workload.name, t, base, tech));
+    }
+    row.completed = true;
+    return std::nullopt;
+  } catch (const std::exception& e) {
+    return RunError{workload.name, phase, e.what()};
+  } catch (...) {
+    return RunError{workload.name, phase, "unknown exception"};
   }
-  return row;
 }
 
 }  // namespace
@@ -50,17 +65,24 @@ SweepResult run_sweep(const SweepSpec& spec) {
   if (threads == 0) threads = 1;
   threads = std::min<unsigned>(threads, static_cast<unsigned>(spec.workloads.size()));
 
-  if (threads <= 1) {
-    for (std::size_t i = 0; i < spec.workloads.size(); ++i) {
-      result.rows[i] = evaluate_workload(spec, spec.workloads[i]);
+  std::mutex errors_mutex;
+  auto evaluate = [&](std::size_t i) {
+    auto error = evaluate_workload(spec, spec.workloads[i], result.rows[i]);
+    if (error) {
+      const std::lock_guard<std::mutex> lock(errors_mutex);
+      result.errors.push_back(std::move(*error));
     }
+  };
+
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < spec.workloads.size(); ++i) evaluate(i);
   } else {
     std::atomic<std::size_t> next{0};
     auto worker = [&] {
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= spec.workloads.size()) return;
-        result.rows[i] = evaluate_workload(spec, spec.workloads[i]);
+        evaluate(i);
       }
     };
     std::vector<std::thread> pool;
@@ -83,6 +105,7 @@ TechniqueComparison SweepResult::summary(Technique t) const {
   std::vector<double> ws, fs, energy, rpki_base, rpki_tech, rpki_dec, mpki_base,
       mpki_tech, mpki_inc, active;
   for (const WorkloadRow& row : rows) {
+    if (!row.completed) continue;  // errored rows carry no comparison data
     const TechniqueComparison& c = row.comparisons[col];
     ws.push_back(c.weighted_speedup);
     fs.push_back(c.fair_speedup);
@@ -94,6 +117,9 @@ TechniqueComparison SweepResult::summary(Technique t) const {
     mpki_tech.push_back(c.mpki_tech);
     mpki_inc.push_back(c.mpki_increase);
     active.push_back(c.active_ratio_pct);
+  }
+  if (ws.empty()) {
+    throw std::runtime_error("summary: no workload completed");
   }
 
   TechniqueComparison s;

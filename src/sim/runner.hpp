@@ -28,14 +28,29 @@ struct SweepSpec {
 struct WorkloadRow {
   std::string workload;
   std::vector<TechniqueComparison> comparisons;  ///< One per spec technique.
+  /// False when this workload's evaluation threw (comparisons is then
+  /// incomplete — see SweepResult::errors for the cause).
+  bool completed = false;
+};
+
+/// One failed workload evaluation, recorded instead of terminating the sweep.
+struct RunError {
+  std::string workload;
+  std::string technique;  ///< Technique running when the exception escaped.
+  std::string what;       ///< exception::what().
 };
 
 struct SweepResult {
   std::vector<Technique> techniques;
   std::vector<WorkloadRow> rows;
+  std::vector<RunError> errors;  ///< One entry per failed workload.
 
-  /// Paper-style averages over workloads for one technique: speedups are
-  /// geometric means; every other metric is an arithmetic mean (§6.4).
+  bool ok() const noexcept { return errors.empty(); }
+
+  /// Paper-style averages over completed workloads for one technique:
+  /// speedups are geometric means; every other metric is an arithmetic mean
+  /// (§6.4). Errored rows are skipped; throws std::runtime_error when no
+  /// row completed.
   TechniqueComparison summary(Technique t) const;
 };
 

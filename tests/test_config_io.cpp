@@ -40,6 +40,48 @@ TEST(ConfigIo, PartialConfigKeepsDefaults) {
   EXPECT_EQ(cfg.esteem.a_min, 3u);
 }
 
+TEST(ConfigIo, RoundTripsFaultsSection) {
+  SystemConfig original;
+  original.faults.enabled = true;
+  original.faults.seed = 1234;
+  original.faults.median_multiple = 24.0;
+  original.faults.sigma = 0.5;
+  original.faults.correction_latency_cycles = 7;
+  original.faults.disable_threshold = 2;
+  original.faults.max_tracked_extension = 12;
+
+  std::stringstream ss;
+  save_config(original, ss);
+  EXPECT_NE(ss.str().find("[faults]"), std::string::npos);
+  const SystemConfig loaded = load_config(ss);
+  EXPECT_TRUE(loaded.faults.enabled);
+  EXPECT_EQ(loaded.faults.seed, 1234u);
+  EXPECT_DOUBLE_EQ(loaded.faults.median_multiple, 24.0);
+  EXPECT_DOUBLE_EQ(loaded.faults.sigma, 0.5);
+  EXPECT_EQ(loaded.faults.correction_latency_cycles, 7u);
+  EXPECT_EQ(loaded.faults.disable_threshold, 2u);
+  EXPECT_EQ(loaded.faults.max_tracked_extension, 12u);
+}
+
+TEST(ConfigIo, ValidatesFaultsSection) {
+  {
+    std::stringstream ss("[faults]\nsigma = 0\n");
+    EXPECT_THROW(load_config(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("[faults]\nmedian_multiple = -1\n");
+    EXPECT_THROW(load_config(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("[faults]\ndisable_threshold = 0\n");
+    EXPECT_THROW(load_config(ss), std::invalid_argument);
+  }
+  {
+    std::stringstream ss("[faults]\nmax_tracked_extension = 0\n");
+    EXPECT_THROW(load_config(ss), std::invalid_argument);
+  }
+}
+
 TEST(ConfigIo, IgnoresCommentsAndBlankLines) {
   std::stringstream ss(
       "# a comment\n\n; another\n[esteem]\n  a_min = 2  \n# trailing\n");

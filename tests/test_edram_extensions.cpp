@@ -113,6 +113,49 @@ TEST(Ecc, LineFailureBinomialTail) {
   EXPECT_LT(line_failure_probability(512, 2, 8.0, model), p_line);
 }
 
+TEST(Ecc, LineFailureEdgeCases) {
+  const CellRetentionModel model;
+  // A code at least as strong as the line can never lose it — including the
+  // degenerate correctable > bits case, which previously drove the binomial
+  // coefficient negative and returned NaN.
+  EXPECT_DOUBLE_EQ(line_failure_probability(512, 512, 16.0, model), 0.0);
+  EXPECT_DOUBLE_EQ(line_failure_probability(512, 600, 16.0, model), 0.0);
+  EXPECT_DOUBLE_EQ(line_failure_probability(1, 1, 1e6, model), 0.0);
+  // At the nominal interval the cell probability underflows to ~0.
+  EXPECT_DOUBLE_EQ(line_failure_probability(512, 0, 1.0, model), 0.0);
+
+  // Extreme spreads stay finite and ordered. A tight distribution
+  // (sigma -> 0) snaps to a step at the median; a wide one leaks failures
+  // even at short extensions.
+  const CellRetentionModel tight{32.0, 0.01};
+  const CellRetentionModel wide{32.0, 5.0};
+  for (const auto& m : {tight, wide}) {
+    for (double ext : {1.0, 2.0, 31.0, 32.0, 33.0, 1024.0}) {
+      const double p = line_failure_probability(512, 4, ext, m);
+      EXPECT_TRUE(std::isfinite(p));
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+  EXPECT_LT(line_failure_probability(512, 4, 16.0, tight), 1e-12);
+  EXPECT_GT(line_failure_probability(512, 4, 16.0, wide), 0.1);
+  EXPECT_NEAR(cell_failure_probability(32.0, tight), 0.5, 1e-9);
+  EXPECT_NEAR(cell_failure_probability(32.0, wide), 0.5, 1e-9);
+}
+
+TEST(Ecc, MaxSafeExtensionMonotoneInStrength) {
+  const CellRetentionModel model;
+  std::uint32_t prev = 0;
+  for (std::uint32_t t : {0u, 1u, 2u, 4u, 8u, 16u, 64u, 512u}) {
+    const std::uint32_t ext = max_safe_extension(512, t, 1e-9, model);
+    EXPECT_GE(ext, prev) << "t=" << t;
+    EXPECT_GE(ext, 1u);
+    prev = ext;
+  }
+  // correctable >= bits: every extension is safe, so the limit is returned.
+  EXPECT_EQ(max_safe_extension(512, 512, 1e-9, model, 64), 64u);
+}
+
 TEST(Ecc, StorageOverhead) {
   EXPECT_DOUBLE_EQ(ecc_storage_overhead(512, 0), 0.0);
   // t=4 on 512 data bits: 4 * ceil(log2(512)+1) = 40 check bits.

@@ -119,6 +119,91 @@ TEST(Sweep, RunsAllWorkloadsAndTechniques) {
   EXPECT_THROW(result.summary(Technique::RefrintRPD), std::invalid_argument);
 }
 
+TEST(Sweep, SurvivesThrowingWorkloadSerial) {
+  SweepSpec spec;
+  spec.config = tiny();
+  spec.workloads = {wl("gamess"), wl("no-such-benchmark"), wl("gobmk")};
+  spec.techniques = {Technique::RefrintRPV};
+  spec.instr_per_core = 80'000;
+  spec.threads = 1;
+
+  const SweepResult result = run_sweep(spec);
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.rows.size(), 3u);
+  EXPECT_TRUE(result.rows[0].completed);
+  EXPECT_FALSE(result.rows[1].completed);
+  EXPECT_TRUE(result.rows[2].completed);
+
+  // The failure is recorded, attributed, and carries the cause.
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_EQ(result.errors[0].workload, "no-such-benchmark");
+  EXPECT_EQ(result.errors[0].technique, "baseline");  // threw in baseline run
+  EXPECT_NE(result.errors[0].what.find("no-such-benchmark"), std::string::npos);
+
+  // Averages skip the errored row instead of reading garbage.
+  const TechniqueComparison avg = result.summary(Technique::RefrintRPV);
+  double manual = 0.0;
+  manual += result.rows[0].comparisons[0].energy_saving_pct;
+  manual += result.rows[2].comparisons[0].energy_saving_pct;
+  EXPECT_NEAR(avg.energy_saving_pct, manual / 2.0, 1e-9);
+}
+
+TEST(Sweep, SurvivesThrowingWorkloadThreaded) {
+  SweepSpec spec;
+  spec.config = tiny();
+  spec.workloads = {wl("bogus-one"), wl("gamess"), wl("bogus-two")};
+  spec.techniques = {Technique::RefrintRPV};
+  spec.instr_per_core = 80'000;
+  spec.threads = 3;  // exceptions must not escape worker threads
+
+  const SweepResult result = run_sweep(spec);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.errors.size(), 2u);
+  EXPECT_FALSE(result.rows[0].completed);
+  EXPECT_TRUE(result.rows[1].completed);
+  EXPECT_FALSE(result.rows[2].completed);
+  EXPECT_NO_THROW(result.summary(Technique::RefrintRPV));
+}
+
+TEST(Sweep, SummaryThrowsWhenNothingCompleted) {
+  SweepSpec spec;
+  spec.config = tiny();
+  spec.workloads = {wl("bogus")};
+  spec.techniques = {Technique::RefrintRPV};
+  const SweepResult result = run_sweep(spec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_THROW(result.summary(Technique::RefrintRPV), std::runtime_error);
+}
+
+TEST(Report, FigureReportFlagsErroredRows) {
+  SweepSpec spec;
+  spec.config = tiny();
+  spec.workloads = {wl("gamess"), wl("bogus")};
+  spec.techniques = {Technique::RefrintRPV};
+  spec.instr_per_core = 80'000;
+  const SweepResult result = run_sweep(spec);
+  const std::string report = figure_report(result, "Sweep");
+  EXPECT_NE(report.find("ERROR"), std::string::npos);
+  EXPECT_NE(report.find("errors (1):"), std::string::npos);
+  EXPECT_NE(report.find("bogus [baseline]"), std::string::npos);
+  EXPECT_NE(report.find("average"), std::string::npos);  // from completed rows
+
+  // CSV emits only the completed rows.
+  const std::string path = "test_report_errors.csv";
+  write_csv(result, path);
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  bool mentions_bogus = false;
+  while (std::getline(in, line)) {
+    ++lines;
+    mentions_bogus |= line.find("bogus") != std::string::npos;
+  }
+  EXPECT_EQ(lines, 2);  // header + gamess x rpv
+  EXPECT_FALSE(mentions_bogus);
+  std::filesystem::remove(path);
+}
+
 TEST(Sweep, Validation) {
   SweepSpec spec;
   spec.config = tiny();

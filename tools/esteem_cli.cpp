@@ -5,6 +5,16 @@
 //                              trace:<file> to replay a recorded trace)
 //     --technique NAME         baseline | periodic-valid | rpv | rpd |
 //                              smart-refresh | ecc-extended | esteem
+//     --sweep WL[,WL]          sweep mode: evaluate every technique of
+//                              --techniques over these workloads (use '+'
+//                              to separate per-core benchmarks within one
+//                              workload, e.g. gobmk+namd). A workload that
+//                              fails is reported at the end instead of
+//                              aborting the sweep; exit code 3 signals that
+//                              at least one workload errored.
+//     --techniques A[,B]       techniques compared in sweep mode
+//                              (default: esteem,rpv)
+//     --csv FILE.csv           write the sweep result table to CSV
 //     --config FILE            INI system configuration (see --dump-config)
 //     --instr N                measured instructions per core
 //     --warmup N               warm-up instructions per core
@@ -25,6 +35,8 @@
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
 #include "trace/spec_profiles.hpp"
 
 namespace {
@@ -35,9 +47,11 @@ using namespace esteem;
   if (msg != nullptr) std::fprintf(stderr, "error: %s\n", msg);
   std::fprintf(stderr,
                "usage: esteem_cli [--workload A[,B]] [--technique NAME]\n"
-               "                  [--config FILE] [--instr N] [--warmup N]\n"
-               "                  [--seed N] [--compare] [--timeline FILE]\n"
-               "                  [--dump-config] [--list-workloads]\n");
+               "                  [--sweep WL[,WL]] [--techniques A[,B]]\n"
+               "                  [--csv FILE] [--config FILE] [--instr N]\n"
+               "                  [--warmup N] [--seed N] [--compare]\n"
+               "                  [--timeline FILE] [--dump-config]\n"
+               "                  [--list-workloads]\n");
   std::exit(2);
 }
 
@@ -51,7 +65,7 @@ std::vector<std::string> split_csv(const std::string& s) {
   return out;
 }
 
-void print_run(const sim::RunOutcome& out) {
+void print_run(const sim::RunOutcome& out, bool faults_enabled) {
   TextTable t;
   t.set_header({"metric", "value"});
   for (std::size_t c = 0; c < out.raw.ipc.size(); ++c) {
@@ -64,10 +78,74 @@ void print_run(const sim::RunOutcome& out) {
   t.add_row({"E leak L2 (mJ)", fmt(out.energy.leak_l2_j * 1e3, 4)});
   t.add_row({"E dyn L2 (mJ)", fmt(out.energy.dyn_l2_j * 1e3, 4)});
   t.add_row({"E refresh L2 (mJ)", fmt(out.energy.refresh_l2_j * 1e3, 4)});
+  if (faults_enabled) {
+    t.add_row({"E ecc-correct (mJ)", fmt(out.energy.ecc_l2_j * 1e3, 4)});
+  }
   t.add_row({"E memory (mJ)", fmt(out.energy.mm_j * 1e3, 4)});
   t.add_row({"E algorithm (mJ)", fmt(out.energy.algo_j * 1e6, 4) + " uJ"});
   t.add_row({"E total (mJ)", fmt(out.energy.total_j() * 1e3, 4)});
+  if (faults_enabled) {
+    const auto& f = out.raw.faults;
+    t.add_row({"fault epochs scanned", std::to_string(f.scans)});
+    t.add_row({"ECC-corrected lines", std::to_string(f.corrected_lines)});
+    t.add_row({"ECC-corrected reads", std::to_string(f.corrected_reads)});
+    t.add_row({"uncorrectable refetches", std::to_string(f.refetches)});
+    t.add_row({"data-loss events", std::to_string(f.data_loss_events)});
+    t.add_row({"disabled lines", std::to_string(out.raw.disabled_slots)});
+  }
   std::printf("%s", t.to_string().c_str());
+}
+
+/// Splits per-core benchmark names joined by '+' into one workload.
+esteem::trace::Workload parse_sweep_workload(const std::string& item) {
+  esteem::trace::Workload wl;
+  wl.name = item;
+  std::istringstream is(item);
+  std::string bench;
+  while (std::getline(is, bench, '+')) {
+    if (!bench.empty()) wl.benchmarks.push_back(bench);
+  }
+  return wl;
+}
+
+/// Runs sweep mode end to end; returns the process exit code (0 = all
+/// workloads completed, 3 = at least one workload errored).
+int run_sweep_mode(const SystemConfig& cfg, const std::string& sweep_arg,
+                   const std::string& techniques_arg, const std::string& csv_path,
+                   instr_t instr, instr_t warmup, std::uint64_t seed) {
+  sim::SweepSpec spec;
+  spec.config = cfg;
+  spec.seed = seed;
+  spec.instr_per_core = instr;
+  spec.warmup_instr_per_core = warmup;
+  for (const std::string& item : split_csv(sweep_arg)) {
+    spec.workloads.push_back(parse_sweep_workload(item));
+  }
+  if (spec.workloads.empty()) usage("empty sweep workload list");
+  if (!techniques_arg.empty()) {
+    spec.techniques.clear();
+    for (const std::string& name : split_csv(techniques_arg)) {
+      spec.techniques.push_back(sim::parse_technique(name));
+    }
+  }
+
+  const sim::SweepResult result = sim::run_sweep(spec);
+  std::printf("%s", sim::figure_report(result, "sweep").c_str());
+  if (!csv_path.empty()) {
+    sim::write_csv(result, csv_path);
+    std::printf("csv written to %s\n", csv_path.c_str());
+  }
+
+  if (!result.ok()) {
+    std::fprintf(stderr, "\nsweep errors (%zu of %zu workloads failed):\n",
+                 result.errors.size(), spec.workloads.size());
+    for (const sim::RunError& e : result.errors) {
+      std::fprintf(stderr, "  workload %-16s technique %-14s %s\n",
+                   e.workload.c_str(), e.technique.c_str(), e.what.c_str());
+    }
+    return 3;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -75,6 +153,10 @@ void print_run(const sim::RunOutcome& out) {
 int main(int argc, char** argv) {
   std::string workload = "h264ref";
   std::string technique = "esteem";
+  std::string sweep_arg;
+  bool sweep_mode = false;
+  std::string techniques_arg;
+  std::string csv_path;
   std::string config_path;
   std::string timeline_path;
   instr_t instr = 4'000'000;
@@ -91,6 +173,9 @@ int main(int argc, char** argv) {
     };
     if (arg == "--workload") workload = value();
     else if (arg == "--technique") technique = value();
+    else if (arg == "--sweep") { sweep_mode = true; sweep_arg = value(); }
+    else if (arg == "--techniques") techniques_arg = value();
+    else if (arg == "--csv") csv_path = value();
     else if (arg == "--config") config_path = value();
     else if (arg == "--instr") instr = std::strtoull(value().c_str(), nullptr, 10);
     else if (arg == "--warmup") warmup = std::strtoull(value().c_str(), nullptr, 10);
@@ -114,6 +199,31 @@ int main(int argc, char** argv) {
   try {
     SystemConfig cfg =
         config_path.empty() ? SystemConfig::single_core() : load_config_file(config_path);
+
+    if (sweep_mode) {
+      const std::vector<std::string> sweep_items = split_csv(sweep_arg);
+      if (sweep_items.empty()) usage("empty sweep workload list");
+      if (config_path.empty()) {
+        // Paper defaults for the core count of the first sweep workload;
+        // a mismatched workload later fails as a recorded sweep error.
+        const auto first = parse_sweep_workload(sweep_items.front());
+        cfg = first.benchmarks.size() >= 2 ? SystemConfig::dual_core()
+                                           : SystemConfig::single_core();
+        cfg.ncores = static_cast<std::uint32_t>(std::max<std::size_t>(
+            1, first.benchmarks.size()));
+        cfg.esteem.interval_cycles = std::max<cycle_t>(
+            cfg.retention_cycles(),
+            static_cast<cycle_t>(10e6 * 4.0 * static_cast<double>(instr) / 400e6));
+        cfg.esteem.hysteresis_intervals = 2;
+        cfg.esteem.shrink_confirm_intervals = 2;
+      }
+      if (dump_config) {
+        save_config(cfg, std::cout);
+        return 0;
+      }
+      return run_sweep_mode(cfg, sweep_arg, techniques_arg, csv_path, instr, warmup,
+                            seed);
+    }
 
     const std::vector<std::string> benchmarks = split_csv(workload);
     if (benchmarks.empty()) usage("empty workload list");
@@ -154,7 +264,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(warmup));
 
     const sim::RunOutcome out = sim::run_experiment(spec);
-    print_run(out);
+    print_run(out, cfg.faults.enabled);
 
     if (!timeline_path.empty()) {
       CsvWriter csv(timeline_path);
