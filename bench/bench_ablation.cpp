@@ -13,6 +13,7 @@
 #include "bench_common.hpp"
 #include "common/table.hpp"
 #include "sim/experiment.hpp"
+#include "sim/run_cache.hpp"
 
 namespace {
 
@@ -71,7 +72,11 @@ int main() {
     spec.instr_per_core = instr;
     spec.warmup_instr_per_core = instr / 5;
     spec.seed = bench::seed();
-    const sim::RunOutcome base = sim::run_experiment(spec);
+    // Cached: the per-benchmark baseline is shared with any figure bench
+    // that already ran in this process (and with repeat invocations when
+    // ESTEEM_MEMO_DIR is set).
+    const std::shared_ptr<const sim::RunOutcome> base =
+        sim::run_experiment_cached(spec);
 
     TextTable t;
     t.set_header({"variant", "energy-saving%", "speedup", "MPKI-inc", "active%",
@@ -80,11 +85,11 @@ int main() {
       sim::RunSpec vs = spec;
       v.mutate(vs.config);
       vs.technique = v.technique;
-      const sim::RunOutcome out = sim::run_experiment(vs);
-      const sim::TechniqueComparison c = sim::compare(b, v.technique, base, out);
+      const auto out = sim::run_experiment_cached(vs);
+      const sim::TechniqueComparison c = sim::compare(b, v.technique, *base, *out);
       t.add_row({v.label, fmt(c.energy_saving_pct, 2), fmt(c.weighted_speedup, 3),
                  fmt(c.mpki_increase, 3), fmt(c.active_ratio_pct, 1),
-                 std::to_string(out.raw.counters.transitions)});
+                 std::to_string(out->raw.counters.transitions)});
     }
     std::printf("%s:\n%s\n", b.c_str(), t.to_string().c_str());
   }

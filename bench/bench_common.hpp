@@ -15,6 +15,7 @@
 #include "common/config.hpp"
 #include "common/env.hpp"
 #include "common/types.hpp"
+#include "sim/task_pool.hpp"
 
 namespace esteem::bench {
 
@@ -87,12 +88,14 @@ inline SystemConfig scaled_dual(instr_t instr, double interval_factor = 1.0) {
 inline void print_scale_banner(const char* what, const SystemConfig& cfg, instr_t instr) {
   std::printf(
       "%s\n  scale: %llu instructions/core (paper: 400M), interval %llu cycles "
-      "(paper: 10M), retention %.0f us, %u-core, L2 %.0f MB %u-way, %u modules\n\n",
+      "(paper: 10M), retention %.0f us, %u-core, L2 %.0f MB %u-way, %u modules, "
+      "%u sweep worker thread(s)\n\n",
       what, static_cast<unsigned long long>(instr),
       static_cast<unsigned long long>(cfg.esteem.interval_cycles),
       cfg.edram.retention_us, cfg.ncores,
       static_cast<double>(cfg.l2.geom.size_bytes) / (1024.0 * 1024.0),
-      cfg.l2.geom.ways, cfg.esteem.modules);
+      cfg.l2.geom.ways, cfg.esteem.modules,
+      sim::TaskPool::resolve_threads(threads()));
 }
 
 }  // namespace esteem::bench

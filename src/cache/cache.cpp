@@ -27,41 +27,53 @@ AccessOutcome SetAssocCache::access(block_t blk, bool is_store, cycle_t now) {
   const std::uint32_t active = active_[set];
   const std::size_t base = idx(set, 0);
 
-  // Lookup among active ways (the invariant keeps valid lines there).
+  // Fused lookup + victim selection: one pass over the active ways finds the
+  // hit way and, in the same sweep, the miss victim (first invalid usable
+  // slot, else the LRU valid line — disabled slots are never allocated; a
+  // valid line can never sit in a disabled slot, so only invalid slots need
+  // the check). A hit abandons the victim scan early; a miss never rescans.
+  std::uint32_t hit_way = kNoWay;
+  std::uint32_t victim_way = kNoWay;
+  std::uint64_t oldest = ~std::uint64_t{0};
+  bool found_invalid = false;
   for (std::uint32_t w = 0; w < active; ++w) {
-    if (valid_[base + w] && blocks_[base + w] == blk) {
-      // Recency position: count valid lines touched more recently.
-      std::uint32_t pos = 0;
-      for (std::uint32_t v = 0; v < active; ++v) {
-        if (v != w && valid_[base + v] && stamp_[base + v] > stamp_[base + w]) ++pos;
+    const std::size_t i = base + w;
+    if (valid_[i]) {
+      if (blocks_[i] == blk) {
+        hit_way = w;
+        break;
       }
-      out.hit = true;
-      out.way = w;
-      out.lru_pos = pos;
-      stamp_[base + w] = ++stamp_counter_;
-      if (is_store) dirty_[base + w] = 1;
-      ++stats_.hits;
-      if (listener_ != nullptr) listener_->on_touch(set, w, now);
-      return out;
+      if (!found_invalid && stamp_[i] < oldest) {
+        oldest = stamp_[i];
+        victim_way = w;
+      }
+    } else if (!found_invalid && !disabled_[i]) {
+      found_invalid = true;
+      victim_way = w;
     }
   }
 
-  // Miss: pick an invalid usable active slot, else the LRU valid line.
-  // Disabled (fault-retired) slots are never allocated.
-  ++stats_.misses;
-  std::uint32_t victim_way = kNoWay;
-  std::uint64_t oldest = ~std::uint64_t{0};
-  for (std::uint32_t w = 0; w < active; ++w) {
-    if (disabled_[base + w]) continue;
-    if (!valid_[base + w]) {
-      victim_way = w;
-      break;
+  if (hit_way != kNoWay) {
+    out.hit = true;
+    out.way = hit_way;
+    if (track_lru_) {
+      // Recency position: count valid lines touched more recently. Computed
+      // only when a consumer (the ESTEEM leader-set profiler) asked for it.
+      std::uint32_t pos = 0;
+      const std::uint64_t my_stamp = stamp_[base + hit_way];
+      for (std::uint32_t v = 0; v < active; ++v) {
+        if (v != hit_way && valid_[base + v] && stamp_[base + v] > my_stamp) ++pos;
+      }
+      out.lru_pos = pos;
     }
-    if (stamp_[base + w] < oldest) {
-      oldest = stamp_[base + w];
-      victim_way = w;
-    }
+    stamp_[base + hit_way] = ++stamp_counter_;
+    if (is_store) dirty_[base + hit_way] = 1;
+    ++stats_.hits;
+    if (touch_listener_ != nullptr) touch_listener_->on_touch(set, hit_way, now);
+    return out;
   }
+
+  ++stats_.misses;
   if (victim_way == kNoWay) return out;  // every usable way disabled: bypass
 
   if (valid_[base + victim_way]) {
@@ -136,7 +148,7 @@ bool SetAssocCache::disable_slot(std::uint32_t set, std::uint32_t way, cycle_t n
   return true;
 }
 
-void SetAssocCache::resize_set(std::uint32_t set, std::uint32_t new_active,
+void SetAssocCache::resize_set(std::uint32_t set, std::uint32_t new_active, cycle_t now,
                                const std::function<void(block_t, bool)>& on_evict) {
   if (set >= sets_) throw std::out_of_range("resize_set: bad set index");
   if (new_active == 0 || new_active > ways_) {
@@ -144,7 +156,9 @@ void SetAssocCache::resize_set(std::uint32_t set, std::uint32_t new_active,
   }
   const std::size_t base = idx(set, 0);
   // Shrinking: flush lines in the deactivated ways. The reconfiguration
-  // happens off the critical access path (paper §5).
+  // happens off the critical access path (paper §5), but the listener still
+  // sees the true reconfiguration cycle so timestamp-keeping refresh
+  // policies stay consistent.
   for (std::uint32_t w = new_active; w < active_[set]; ++w) {
     if (valid_[base + w]) {
       const bool was_dirty = dirty_[base + w] != 0;
@@ -154,7 +168,7 @@ void SetAssocCache::resize_set(std::uint32_t set, std::uint32_t new_active,
       --valid_count_;
       ++stats_.evictions;
       if (was_dirty) ++stats_.dirty_evictions;
-      if (listener_ != nullptr) listener_->on_invalidate(set, w, was_dirty, 0);
+      if (listener_ != nullptr) listener_->on_invalidate(set, w, was_dirty, now);
     }
   }
   active_[set] = new_active;

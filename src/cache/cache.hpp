@@ -26,6 +26,12 @@ class LineListener {
   virtual void on_touch(std::uint32_t set, std::uint32_t way, cycle_t now) = 0;
   virtual void on_invalidate(std::uint32_t set, std::uint32_t way, bool dirty,
                              cycle_t now) = 0;
+
+  /// Fast-lane opt-out: a listener with no per-touch state (empty on_touch)
+  /// returns false and the cache skips the virtual dispatch on every hit —
+  /// the hottest call site in the simulator. Queried once, at
+  /// set_listener() time.
+  virtual bool wants_touch() const noexcept { return true; }
 };
 
 /// Sentinel way index: the access neither hit nor allocated a slot (every
@@ -37,8 +43,9 @@ struct AccessOutcome {
   /// Way of the slot the block occupies after the access (hit or fill);
   /// kNoWay when the access could not allocate.
   std::uint32_t way = kNoWay;
-  /// On a hit: recency position of the line among valid lines in its set
-  /// (0 = MRU). Undefined on a miss.
+  /// On a hit, when LRU-position tracking is enabled (the default): recency
+  /// position of the line among valid lines in its set (0 = MRU). Undefined
+  /// on a miss or with tracking disabled (set_lru_tracking(false)).
   std::uint32_t lru_pos = 0;
   /// On a miss that evicted a victim: the victim block, else kInvalidBlock.
   block_t victim = kInvalidBlock;
@@ -81,10 +88,12 @@ class SetAssocCache {
   /// No-op on an already-invalid slot. Returns true if the line was dirty.
   bool invalidate_slot(std::uint32_t set, std::uint32_t way, cycle_t now);
 
-  /// Changes a set's active way count. When shrinking, lines in deactivated
-  /// ways are invalidated and reported through `on_evict(block, dirty)`
-  /// (the paper: clean lines are discarded, dirty lines written back, §5).
-  void resize_set(std::uint32_t set, std::uint32_t new_active,
+  /// Changes a set's active way count at cycle `now`. When shrinking, lines
+  /// in deactivated ways are invalidated and reported through
+  /// `on_evict(block, dirty)` (the paper: clean lines are discarded, dirty
+  /// lines written back, §5); the listener sees the invalidations stamped
+  /// with `now`, the actual reconfiguration cycle.
+  void resize_set(std::uint32_t set, std::uint32_t new_active, cycle_t now,
                   const std::function<void(block_t, bool)>& on_evict);
 
   std::uint32_t active_ways(std::uint32_t set) const noexcept { return active_[set]; }
@@ -111,8 +120,20 @@ class SetAssocCache {
   const CacheStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
 
-  /// At most one listener (the refresh policy); may be null.
-  void set_listener(LineListener* listener) noexcept { listener_ = listener; }
+  /// At most one listener (the refresh policy); may be null. The listener's
+  /// wants_touch() is sampled here: per-touch notification is skipped
+  /// entirely for listeners without per-touch state.
+  void set_listener(LineListener* listener) noexcept {
+    listener_ = listener;
+    touch_listener_ = (listener != nullptr && listener->wants_touch()) ? listener : nullptr;
+  }
+
+  /// Enables/disables hit LRU-position computation (AccessOutcome::lru_pos).
+  /// The position costs an O(ways) stamp scan per hit; the memory system
+  /// turns it on only when a consumer (the ESTEEM leader-set profiler) reads
+  /// it. On by default for API compatibility.
+  void set_lru_tracking(bool enabled) noexcept { track_lru_ = enabled; }
+  bool lru_tracking() const noexcept { return track_lru_; }
 
   /// True if the slot currently holds a valid line.
   bool slot_valid(std::uint32_t set, std::uint32_t way) const noexcept {
@@ -147,6 +168,8 @@ class SetAssocCache {
   std::uint64_t disabled_count_ = 0;
   CacheStats stats_;
   LineListener* listener_ = nullptr;
+  LineListener* touch_listener_ = nullptr;  ///< listener_ iff it wants_touch().
+  bool track_lru_ = true;
 };
 
 }  // namespace esteem::cache

@@ -99,7 +99,9 @@ ReconfigResult EsteemController::run_interval(
       if (leaders_.is_leader(set)) continue;  // leaders never reconfigure
       result.transitions += delta;            // N_L counts on->off and off->on
       if (target < current) {
-        l2_.resize_set(set, target, [&](block_t blk, bool dirty) {
+        // The flush is stamped with the interval boundary's cycle so
+        // refresh policies observing the invalidations see real timestamps.
+        l2_.resize_set(set, target, now, [&](block_t blk, bool dirty) {
           if (dirty) {
             ++result.writebacks;
             if (on_writeback) on_writeback(blk);
@@ -108,13 +110,12 @@ ReconfigResult EsteemController::run_interval(
           }
         });
       } else {
-        l2_.resize_set(set, target, nullptr);
+        l2_.resize_set(set, target, now, nullptr);
       }
     }
     active_[m] = target;
   }
 
-  (void)now;  // reconfiguration is off the critical path (§5)
   profiler_.clear();
   return result;
 }

@@ -95,6 +95,11 @@ MemorySystem::MemorySystem(const SystemConfig& cfg, Technique technique)
       break;
   }
   l2_.set_listener(policy_.get());
+  // Fast lane: the O(ways) per-hit LRU-position scan feeds only the ESTEEM
+  // leader-set profiler; every other configuration skips it. The L1s have
+  // no consumer ever.
+  l2_.set_lru_tracking(profiler_ != nullptr);
+  for (auto& l1 : l1_) l1.set_lru_tracking(false);
   engine_ = std::make_unique<edram::RefreshEngine>(
       *policy_, &banks_, static_cast<double>(cfg.retention_cycles()));
   engine_->sync_bank_load(0);

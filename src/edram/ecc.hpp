@@ -61,6 +61,7 @@ class EccRefreshPolicy final : public RefreshPolicy {
   void on_fill(std::uint32_t, std::uint32_t, block_t, cycle_t) override { ++valid_; }
   void on_touch(std::uint32_t, std::uint32_t, cycle_t) override {}
   void on_invalidate(std::uint32_t, std::uint32_t, bool, cycle_t) override { --valid_; }
+  bool wants_touch() const noexcept override { return false; }  // stateless hits
 
   std::uint32_t extension() const noexcept { return extension_; }
 

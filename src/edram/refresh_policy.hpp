@@ -51,6 +51,7 @@ class PeriodicAllPolicy final : public RefreshPolicy {
   void on_fill(std::uint32_t, std::uint32_t, block_t, cycle_t) override {}
   void on_touch(std::uint32_t, std::uint32_t, cycle_t) override {}
   void on_invalidate(std::uint32_t, std::uint32_t, bool, cycle_t) override {}
+  bool wants_touch() const noexcept override { return false; }  // stateless hits
 
  private:
   std::uint64_t total_lines_;
@@ -72,6 +73,7 @@ class PeriodicValidPolicy final : public RefreshPolicy {
   void on_fill(std::uint32_t, std::uint32_t, block_t, cycle_t) override { ++valid_; }
   void on_touch(std::uint32_t, std::uint32_t, cycle_t) override {}
   void on_invalidate(std::uint32_t, std::uint32_t, bool, cycle_t) override { --valid_; }
+  bool wants_touch() const noexcept override { return false; }  // stateless hits
 
   std::uint64_t valid_lines() const noexcept { return valid_; }
 

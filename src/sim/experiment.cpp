@@ -3,6 +3,7 @@
 #include "edram/ecc.hpp"
 #include "energy/cacti_table.hpp"
 #include "sim/metrics.hpp"
+#include "sim/run_cache.hpp"
 
 namespace esteem::sim {
 
@@ -62,9 +63,11 @@ TechniqueComparison run_and_compare(const RunSpec& technique_spec) {
   base_spec.technique = Technique::BaselinePeriodicAll;
   base_spec.record_timeline = false;
 
-  const RunOutcome base = run_experiment(base_spec);
-  const RunOutcome tech = run_experiment(technique_spec);
-  return compare(technique_spec.workload.name, technique_spec.technique, base, tech);
+  // Memoized: a series of run_and_compare calls over the same workload (the
+  // ablation bench's variant grid) computes the baseline once.
+  const std::shared_ptr<const RunOutcome> base = run_experiment_cached(base_spec);
+  const std::shared_ptr<const RunOutcome> tech = run_experiment_cached(technique_spec);
+  return compare(technique_spec.workload.name, technique_spec.technique, *base, *tech);
 }
 
 }  // namespace esteem::sim

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,13 @@ struct RunOutcome {
 
 /// Builds a System, runs it, evaluates the energy model.
 RunOutcome run_experiment(const RunSpec& spec);
+
+/// run_experiment through the process-wide RunCache (sim/run_cache.hpp):
+/// identical specs are simulated once per process (or once ever, with
+/// ESTEEM_MEMO_DIR persistence) and shared by pointer thereafter. The
+/// simulator is deterministic in the spec, so a cached outcome is
+/// bit-identical to a fresh run.
+std::shared_ptr<const RunOutcome> run_experiment_cached(const RunSpec& spec);
 
 /// Paper metrics for one technique vs. the paired baseline run (§6.4).
 struct TechniqueComparison {

@@ -1,0 +1,406 @@
+#include "sim/run_cache.hpp"
+
+#include <bit>
+#include <cstddef>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <utility>
+
+#include "common/env.hpp"
+
+namespace esteem::sim {
+
+namespace {
+
+constexpr std::uint64_t kMemoMagic = 0x314F4D454D534525ULL;  // "%ESMEMO1"
+// Bump whenever the fingerprint layout, the serialized RunOutcome layout, or
+// simulator behaviour changes: stale memo files then read as misses.
+constexpr std::uint32_t kMemoFormatVersion = 1;
+
+/// Append-only byte writer with a fixed little-endian field encoding; the
+/// same encoding produces both fingerprints and memo-file payloads.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) { u64(v); }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(const std::string& s) {
+    u64(s.size());
+    buf_.append(s);
+  }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked reader over a memo-file payload; every getter reports
+/// truncation instead of reading past the end.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::string& buf) : buf_(buf) {}
+
+  bool u8(std::uint8_t& v) {
+    if (pos_ + 1 > buf_.size()) return false;
+    v = static_cast<std::uint8_t>(buf_[pos_++]);
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    std::uint64_t wide = 0;
+    if (!u64(wide)) return false;
+    v = static_cast<std::uint32_t>(wide);
+    return true;
+  }
+  bool u64(std::uint64_t& v) {
+    if (pos_ + 8 > buf_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+  bool f64(double& v) {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    v = std::bit_cast<double>(bits);
+    return true;
+  }
+  bool str(std::string& s) {
+    std::uint64_t n = 0;
+    if (!u64(n) || pos_ + n > buf_.size()) return false;
+    s.assign(buf_, pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool done() const noexcept { return pos_ == buf_.size(); }
+
+ private:
+  const std::string& buf_;
+  std::size_t pos_ = 0;
+};
+
+void write_outcome(ByteWriter& w, const RunOutcome& o) {
+  const cpu::RawRunResult& r = o.raw;
+  w.u64(r.ipc.size());
+  for (double v : r.ipc) w.f64(v);
+  w.u64(r.instr_per_core);
+  w.u64(r.total_instructions);
+  w.u64(r.wall_cycles);
+
+  const energy::EnergyCounters& c = r.counters;
+  w.f64(c.seconds);
+  w.f64(c.fa_seconds);
+  w.u64(c.l2_hits);
+  w.u64(c.l2_misses);
+  w.u64(c.refreshes);
+  w.u64(c.mm_accesses);
+  w.u64(c.transitions);
+  w.u64(c.ecc_corrections);
+
+  const cpu::MemorySystemStats& m = r.mem_stats;
+  w.u64(m.demand_l2_hits);
+  w.u64(m.demand_l2_misses);
+  w.u64(m.l2_writeback_accesses);
+  w.u64(m.mm_writebacks);
+  w.u64(m.reconfig_transitions);
+  w.u64(m.reconfig_writebacks);
+
+  w.u64(r.refreshes);
+  w.u64(r.demand_misses);
+  w.f64(r.avg_active_ratio);
+
+  const edram::FaultCounters& f = r.faults;
+  w.u64(f.scans);
+  w.u64(f.corrected_lines);
+  w.u64(f.corrected_reads);
+  w.u64(f.refetches);
+  w.u64(f.data_loss_events);
+  w.u64(f.disabled_lines);
+  w.u64(r.disabled_slots);
+
+  w.u64(r.timeline.size());
+  for (const cpu::IntervalSample& s : r.timeline) {
+    w.u64(s.cycle);
+    w.f64(s.active_ratio);
+    w.u64(s.module_ways.size());
+    for (std::uint32_t ways : s.module_ways) w.u32(ways);
+  }
+
+  const energy::EnergyBreakdown& e = o.energy;
+  w.f64(e.leak_l2_j);
+  w.f64(e.dyn_l2_j);
+  w.f64(e.refresh_l2_j);
+  w.f64(e.ecc_l2_j);
+  w.f64(e.mm_j);
+  w.f64(e.algo_j);
+}
+
+bool read_outcome(ByteReader& rd, RunOutcome& o) {
+  cpu::RawRunResult& r = o.raw;
+  std::uint64_t n = 0;
+  if (!rd.u64(n)) return false;
+  r.ipc.resize(n);
+  for (double& v : r.ipc) {
+    if (!rd.f64(v)) return false;
+  }
+  bool ok = rd.u64(r.instr_per_core) && rd.u64(r.total_instructions) &&
+            rd.u64(r.wall_cycles);
+
+  energy::EnergyCounters& c = r.counters;
+  ok = ok && rd.f64(c.seconds) && rd.f64(c.fa_seconds) && rd.u64(c.l2_hits) &&
+       rd.u64(c.l2_misses) && rd.u64(c.refreshes) && rd.u64(c.mm_accesses) &&
+       rd.u64(c.transitions) && rd.u64(c.ecc_corrections);
+
+  cpu::MemorySystemStats& m = r.mem_stats;
+  ok = ok && rd.u64(m.demand_l2_hits) && rd.u64(m.demand_l2_misses) &&
+       rd.u64(m.l2_writeback_accesses) && rd.u64(m.mm_writebacks) &&
+       rd.u64(m.reconfig_transitions) && rd.u64(m.reconfig_writebacks);
+
+  ok = ok && rd.u64(r.refreshes) && rd.u64(r.demand_misses) &&
+       rd.f64(r.avg_active_ratio);
+
+  edram::FaultCounters& f = r.faults;
+  ok = ok && rd.u64(f.scans) && rd.u64(f.corrected_lines) &&
+       rd.u64(f.corrected_reads) && rd.u64(f.refetches) &&
+       rd.u64(f.data_loss_events) && rd.u64(f.disabled_lines) &&
+       rd.u64(r.disabled_slots);
+  if (!ok) return false;
+
+  if (!rd.u64(n)) return false;
+  r.timeline.resize(n);
+  for (cpu::IntervalSample& s : r.timeline) {
+    std::uint64_t ways = 0;
+    if (!rd.u64(s.cycle) || !rd.f64(s.active_ratio) || !rd.u64(ways)) return false;
+    s.module_ways.resize(ways);
+    for (std::uint32_t& w : s.module_ways) {
+      if (!rd.u32(w)) return false;
+    }
+  }
+
+  energy::EnergyBreakdown& e = o.energy;
+  return rd.f64(e.leak_l2_j) && rd.f64(e.dyn_l2_j) && rd.f64(e.refresh_l2_j) &&
+         rd.f64(e.ecc_l2_j) && rd.f64(e.mm_j) && rd.f64(e.algo_j) && rd.done();
+}
+
+std::filesystem::path memo_path(const std::string& dir, std::uint64_t hash) {
+  char name[40];
+  std::snprintf(name, sizeof(name), "esteem-memo-%016llx.bin",
+                static_cast<unsigned long long>(hash));
+  return std::filesystem::path(dir) / name;
+}
+
+}  // namespace
+
+std::string run_spec_fingerprint(const RunSpec& spec) {
+  ByteWriter w;
+  w.u32(kMemoFormatVersion);
+
+  const SystemConfig& cfg = spec.config;
+  w.u32(cfg.ncores);
+  w.f64(cfg.freq_ghz);
+  w.u64(cfg.l1.geom.size_bytes);
+  w.u32(cfg.l1.geom.ways);
+  w.u32(cfg.l1.geom.line_bytes);
+  w.u32(cfg.l1.latency_cycles);
+  w.u64(cfg.l2.geom.size_bytes);
+  w.u32(cfg.l2.geom.ways);
+  w.u32(cfg.l2.geom.line_bytes);
+  w.u32(cfg.l2.latency_cycles);
+  w.u32(cfg.l2.banks);
+  w.u32(cfg.l2.access_occupancy_cycles);
+  w.f64(cfg.l2.refresh_occupancy_cycles);
+  w.f64(cfg.l2.queue_pressure);
+  w.u32(cfg.mem.latency_cycles);
+  w.f64(cfg.mem.bandwidth_gbps);
+  w.f64(cfg.edram.retention_us);
+  w.u32(cfg.edram.rpv_phases);
+  w.u32(cfg.edram.ecc_correctable);
+  w.f64(cfg.edram.ecc_target_line_failure);
+  w.f64(cfg.edram.decay_interval_retentions);
+  w.f64(cfg.esteem.alpha);
+  w.u32(cfg.esteem.a_min);
+  w.u32(cfg.esteem.modules);
+  w.u64(cfg.esteem.interval_cycles);
+  w.u32(cfg.esteem.sampling_ratio);
+  w.u8(cfg.esteem.nonlru_guard ? 1 : 0);
+  w.u64(cfg.esteem.min_leader_samples);
+  w.f64(cfg.esteem.history_weight);
+  w.u32(cfg.esteem.max_way_delta);
+  w.u32(cfg.esteem.hysteresis_intervals);
+  w.u32(cfg.esteem.shrink_confirm_intervals);
+  w.u8(cfg.faults.enabled ? 1 : 0);
+  w.u64(cfg.faults.seed);
+  w.f64(cfg.faults.median_multiple);
+  w.f64(cfg.faults.sigma);
+  w.u32(cfg.faults.correction_latency_cycles);
+  w.u32(cfg.faults.disable_threshold);
+  w.u32(cfg.faults.max_tracked_extension);
+
+  w.u32(static_cast<std::uint32_t>(spec.technique));
+  w.str(spec.workload.name);
+  w.u64(spec.workload.benchmarks.size());
+  for (const std::string& b : spec.workload.benchmarks) w.str(b);
+  w.u64(spec.seed);
+  w.u64(spec.instr_per_core);
+  w.u64(spec.warmup_instr_per_core);
+  w.u8(spec.record_timeline ? 1 : 0);
+  return w.take();
+}
+
+std::uint64_t fingerprint_hash(const std::string& fingerprint) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (unsigned char byte : fingerprint) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::shared_ptr<const RunOutcome> run_experiment_cached(const RunSpec& spec) {
+  return RunCache::instance().get_or_run(spec);
+}
+
+RunCache& RunCache::instance() {
+  static RunCache* cache = [] {
+    auto* c = new RunCache();
+    c->set_disk_dir(env_str("ESTEEM_MEMO_DIR", ""));
+    return c;
+  }();
+  return *cache;
+}
+
+std::shared_ptr<const RunOutcome> RunCache::get_or_run(const RunSpec& spec) {
+  const std::string fp = run_spec_fingerprint(spec);
+  std::promise<OutcomePtr> promise;
+  std::shared_future<OutcomePtr> future;
+  bool owner = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(fp);
+    if (it != map_.end()) {
+      ++stats_.hits;
+      future = it->second;
+    } else {
+      ++stats_.misses;
+      owner = true;
+      future = promise.get_future().share();
+      map_.emplace(fp, future);
+    }
+  }
+  if (!owner) return future.get();  // blocks only while the owner computes
+
+  try {
+    const std::uint64_t hash = fingerprint_hash(fp);
+    OutcomePtr outcome;
+    if (!load_from_disk(hash, fp, outcome)) {
+      outcome = std::make_shared<const RunOutcome>(run_experiment(spec));
+      store_to_disk(hash, fp, *outcome);
+    }
+    promise.set_value(outcome);
+    return outcome;
+  } catch (...) {
+    // Leave failures uncached: a retry recomputes instead of replaying the
+    // stored exception forever. Waiters already holding the future still
+    // observe this failure.
+    promise.set_exception(std::current_exception());
+    const std::lock_guard<std::mutex> lock(mutex_);
+    map_.erase(fp);
+    throw;
+  }
+}
+
+void RunCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  map_.clear();
+  stats_ = {};
+}
+
+void RunCache::set_disk_dir(std::string dir) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  disk_dir_ = std::move(dir);
+}
+
+std::string RunCache::disk_dir() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return disk_dir_;
+}
+
+RunCacheStats RunCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t RunCache::entries() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+bool RunCache::load_from_disk(std::uint64_t hash, const std::string& fingerprint,
+                              OutcomePtr& out) const {
+  const std::string dir = disk_dir();
+  if (dir.empty()) return false;
+
+  std::ifstream in(memo_path(dir, hash), std::ios::binary);
+  if (!in.good()) return false;
+  std::string buf((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+
+  ByteReader rd(buf);
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  std::string stored_fp;
+  if (!rd.u64(magic) || magic != kMemoMagic) return false;
+  if (!rd.u32(version) || version != kMemoFormatVersion) return false;
+  if (!rd.str(stored_fp) || stored_fp != fingerprint) return false;  // collision/stale
+
+  auto outcome = std::make_shared<RunOutcome>();
+  if (!read_outcome(rd, *outcome)) return false;
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.disk_hits;
+  }
+  out = std::move(outcome);
+  return true;
+}
+
+void RunCache::store_to_disk(std::uint64_t hash, const std::string& fingerprint,
+                             const RunOutcome& outcome) {
+  const std::string dir = disk_dir();
+  if (dir.empty()) return;
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return;  // persistence is best-effort; the in-memory entry stands
+
+  ByteWriter w;
+  w.u64(kMemoMagic);
+  w.u32(kMemoFormatVersion);
+  w.str(fingerprint);
+  write_outcome(w, outcome);
+  const std::string payload = w.take();
+
+  // Write-then-rename so concurrent bench processes never observe a torn
+  // memo file.
+  const std::filesystem::path final_path = memo_path(dir, hash);
+  std::filesystem::path tmp = final_path;
+  tmp += ".tmp";
+  {
+    std::ofstream outf(tmp, std::ios::binary | std::ios::trunc);
+    if (!outf.good()) return;
+    outf.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (!outf.good()) return;
+  }
+  std::filesystem::rename(tmp, final_path, ec);
+  if (!ec) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.disk_stores;
+  }
+}
+
+}  // namespace esteem::sim

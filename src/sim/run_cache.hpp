@@ -1,0 +1,90 @@
+// RunOutcome memoization shared by the sweep runner, the CLI, and every
+// bench binary in the process.
+//
+// Key: a canonical byte-level fingerprint of everything that determines a
+// run's result — the full SystemConfig, the workload spec, the technique,
+// the seed, the instruction/warm-up budgets, and the timeline flag. The
+// simulator is deterministic in these inputs, so a fingerprint match means
+// the cached RunOutcome is bit-identical to what a fresh run would produce.
+//
+// Concurrency: the first requester of a key computes the run; concurrent
+// requesters of the same key block on a shared_future instead of
+// recomputing. Distinct keys never contend beyond the map lookup.
+//
+// Persistence (optional): pointing `ESTEEM_MEMO_DIR` at a directory (or
+// calling set_disk_dir) spills every computed outcome to
+// `esteem-memo-<hash>.bin` and reloads it in later processes, so
+// regenerating a figure after the first run costs file reads, not
+// simulation. Files embed the full fingerprint and a format version; any
+// mismatch (hash collision, stale format) is treated as a miss. Delete the
+// directory after changing simulator behaviour — the fingerprint hashes
+// inputs, not code.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sim/experiment.hpp"
+
+namespace esteem::sim {
+
+/// Canonical fingerprint of a RunSpec (stable across processes).
+std::string run_spec_fingerprint(const RunSpec& spec);
+
+/// FNV-1a of the fingerprint — the short key used for disk filenames and
+/// log lines.
+std::uint64_t fingerprint_hash(const std::string& fingerprint);
+
+struct RunCacheStats {
+  std::uint64_t hits = 0;         ///< Served from the in-process map.
+  std::uint64_t misses = 0;       ///< Keys that had to be resolved.
+  std::uint64_t disk_hits = 0;    ///< Misses satisfied by a memo file.
+  std::uint64_t disk_stores = 0;  ///< Outcomes spilled to disk.
+
+  std::uint64_t lookups() const noexcept { return hits + misses; }
+};
+
+class RunCache {
+ public:
+  /// Process-wide instance; adopts ESTEEM_MEMO_DIR on first use.
+  static RunCache& instance();
+
+  RunCache() = default;
+  RunCache(const RunCache&) = delete;
+  RunCache& operator=(const RunCache&) = delete;
+
+  /// Returns the memoized outcome for `spec`, computing it (at most once per
+  /// key, even under concurrency) on a miss. Propagates the run's exception
+  /// and leaves the key uncached so a later call can retry.
+  std::shared_ptr<const RunOutcome> get_or_run(const RunSpec& spec);
+
+  /// Drops every in-memory entry and zeroes the stats. Disk files survive.
+  void clear();
+
+  /// Enables ("" disables) on-disk persistence. The directory is created on
+  /// first store.
+  void set_disk_dir(std::string dir);
+  std::string disk_dir() const;
+
+  RunCacheStats stats() const;
+  std::size_t entries() const;
+
+ private:
+  using OutcomePtr = std::shared_ptr<const RunOutcome>;
+
+  bool load_from_disk(std::uint64_t hash, const std::string& fingerprint,
+                      OutcomePtr& out) const;
+  void store_to_disk(std::uint64_t hash, const std::string& fingerprint,
+                     const RunOutcome& outcome);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_future<OutcomePtr>> map_;
+  mutable RunCacheStats stats_;  ///< disk_hits ticks inside const load path.
+  std::string disk_dir_;
+};
+
+}  // namespace esteem::sim

@@ -1,49 +1,48 @@
 #include "sim/runner.hpp"
 
-#include <atomic>
-#include <mutex>
+#include <future>
+#include <latch>
+#include <memory>
 #include <optional>
 #include <stdexcept>
-#include <thread>
 
 #include "common/stats.hpp"
+#include "sim/run_cache.hpp"
+#include "sim/task_pool.hpp"
 
 namespace esteem::sim {
 
 namespace {
 
-/// Evaluates one workload into `row`. Exceptions never escape: a failure is
-/// returned as a RunError so one bad workload cannot std::terminate a
-/// multi-hour sweep from inside a worker thread.
-std::optional<RunError> evaluate_workload(const SweepSpec& spec,
-                                          const trace::Workload& workload,
-                                          WorkloadRow& row) {
-  row.workload = workload.name;
-  std::string phase = "baseline";
+/// Per-workload scheduling state. The baseline future is fulfilled exactly
+/// once by the workload's baseline task; technique tasks are only submitted
+/// after that, so their .get() never blocks a pool worker.
+struct WorkloadTaskState {
+  std::promise<std::shared_ptr<const RunOutcome>> baseline_promise;
+  std::shared_future<std::shared_ptr<const RunOutcome>> baseline;
+  std::optional<RunError> baseline_error;
+  std::vector<std::optional<RunError>> technique_errors;
+};
+
+RunSpec make_run_spec(const SweepSpec& spec, const trace::Workload& workload,
+                      Technique technique) {
+  RunSpec rs;
+  rs.config = spec.config;
+  rs.technique = technique;
+  rs.workload = workload;
+  rs.seed = spec.seed;
+  rs.instr_per_core = spec.instr_per_core;
+  rs.warmup_instr_per_core = spec.warmup_instr_per_core;
+  return rs;
+}
+
+RunError to_run_error(const std::string& workload, const std::string& phase) {
   try {
-    RunSpec base_spec;
-    base_spec.config = spec.config;
-    base_spec.technique = Technique::BaselinePeriodicAll;
-    base_spec.workload = workload;
-    base_spec.seed = spec.seed;
-    base_spec.instr_per_core = spec.instr_per_core;
-    base_spec.warmup_instr_per_core = spec.warmup_instr_per_core;
-
-    const RunOutcome base = run_experiment(base_spec);
-
-    for (Technique t : spec.techniques) {
-      phase = std::string(to_string(t));
-      RunSpec tech_spec = base_spec;
-      tech_spec.technique = t;
-      const RunOutcome tech = run_experiment(tech_spec);
-      row.comparisons.push_back(compare(workload.name, t, base, tech));
-    }
-    row.completed = true;
-    return std::nullopt;
+    throw;
   } catch (const std::exception& e) {
-    return RunError{workload.name, phase, e.what()};
+    return RunError{workload, phase, e.what()};
   } catch (...) {
-    return RunError{workload.name, phase, "unknown exception"};
+    return RunError{workload, phase, "unknown exception"};
   }
 }
 
@@ -57,38 +56,88 @@ SweepResult run_sweep(const SweepSpec& spec) {
     }
   }
 
+  const std::size_t n_workloads = spec.workloads.size();
+  const std::size_t n_techniques = spec.techniques.size();
+
   SweepResult result;
   result.techniques = spec.techniques;
-  result.rows.resize(spec.workloads.size());
+  result.rows.resize(n_workloads);
 
-  unsigned threads = spec.threads != 0 ? spec.threads : std::thread::hardware_concurrency();
-  if (threads == 0) threads = 1;
-  threads = std::min<unsigned>(threads, static_cast<unsigned>(spec.workloads.size()));
+  // Every (workload, technique) cell has a preallocated slot written by
+  // exactly one task, so the threaded schedule produces bit-identical rows
+  // to the inline (threads = 1) schedule regardless of completion order.
+  std::vector<std::unique_ptr<WorkloadTaskState>> states;
+  states.reserve(n_workloads);
+  for (std::size_t i = 0; i < n_workloads; ++i) {
+    result.rows[i].workload = spec.workloads[i].name;
+    result.rows[i].comparisons.assign(n_techniques, TechniqueComparison{});
+    auto state = std::make_unique<WorkloadTaskState>();
+    state->baseline = state->baseline_promise.get_future().share();
+    state->technique_errors.resize(n_techniques);
+    states.push_back(std::move(state));
+  }
 
-  std::mutex errors_mutex;
-  auto evaluate = [&](std::size_t i) {
-    auto error = evaluate_workload(spec, spec.workloads[i], result.rows[i]);
-    if (error) {
-      const std::lock_guard<std::mutex> lock(errors_mutex);
-      result.errors.push_back(std::move(*error));
-    }
-  };
+  // One unit per scheduled task: baseline + every technique of the workload.
+  // A failed baseline retires its techniques' units without scheduling them.
+  std::latch done(static_cast<std::ptrdiff_t>(n_workloads * (1 + n_techniques)));
 
-  if (threads <= 1) {
-    for (std::size_t i = 0; i < spec.workloads.size(); ++i) evaluate(i);
-  } else {
-    std::atomic<std::size_t> next{0};
-    auto worker = [&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= spec.workloads.size()) return;
-        evaluate(i);
+  const unsigned resolved = TaskPool::resolve_threads(spec.threads);
+  TaskPool pool(std::min<unsigned>(
+      resolved, static_cast<unsigned>(n_workloads * (1 + n_techniques))));
+
+  for (std::size_t wi = 0; wi < n_workloads; ++wi) {
+    pool.submit([&spec, &result, &states, &pool, &done, wi, n_techniques] {
+      const trace::Workload& workload = spec.workloads[wi];
+      WorkloadTaskState& state = *states[wi];
+
+      std::shared_ptr<const RunOutcome> base;
+      try {
+        base = run_experiment_cached(
+            make_run_spec(spec, workload, Technique::BaselinePeriodicAll));
+      } catch (...) {
+        state.baseline_error = to_run_error(workload.name, "baseline");
       }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (auto& th : pool) th.join();
+      state.baseline_promise.set_value(base);  // null signals baseline failure
+      if (base == nullptr) {
+        done.count_down(static_cast<std::ptrdiff_t>(1 + n_techniques));
+        return;
+      }
+
+      for (std::size_t ti = 0; ti < n_techniques; ++ti) {
+        pool.submit([&spec, &result, &states, &done, wi, ti] {
+          const trace::Workload& wl = spec.workloads[wi];
+          const Technique technique = spec.techniques[ti];
+          WorkloadTaskState& st = *states[wi];
+          try {
+            const std::shared_ptr<const RunOutcome> baseline = st.baseline.get();
+            const std::shared_ptr<const RunOutcome> tech =
+                run_experiment_cached(make_run_spec(spec, wl, technique));
+            result.rows[wi].comparisons[ti] = compare(wl.name, technique, *baseline, *tech);
+          } catch (...) {
+            st.technique_errors[ti] =
+                to_run_error(wl.name, std::string(to_string(technique)));
+          }
+          done.count_down();
+        });
+      }
+      done.count_down();
+    });
+  }
+  done.wait();
+
+  // Deterministic error report: workload order, first failing phase per
+  // workload (baseline outranks techniques, techniques in spec order).
+  for (std::size_t wi = 0; wi < n_workloads; ++wi) {
+    WorkloadTaskState& state = *states[wi];
+    std::optional<RunError> first = std::move(state.baseline_error);
+    for (std::size_t ti = 0; !first && ti < n_techniques; ++ti) {
+      first = std::move(state.technique_errors[ti]);
+    }
+    if (first) {
+      result.errors.push_back(std::move(*first));
+    } else {
+      result.rows[wi].completed = true;
+    }
   }
   return result;
 }

@@ -1,6 +1,12 @@
-// Sweep runner: evaluates a set of techniques over a set of workloads,
-// sharing one baseline run per workload, with optional thread-level
-// parallelism across workloads.
+// Sweep runner: evaluates a set of techniques over a set of workloads on a
+// shared work-stealing task pool (sim/task_pool.hpp), scheduling at
+// (workload x technique) granularity. Each technique task depends on its
+// workload's baseline task through a future fulfilled by the baseline, so
+// with enough cores the sweep's wall clock approaches the slowest single
+// run instead of slowest_workload x (1 + |techniques|). Every run goes
+// through the process-wide RunOutcome memo cache (sim/run_cache.hpp), so
+// repeated sweeps — and other benches in the same process — never recompute
+// an identical experiment.
 #pragma once
 
 #include <cstdint>
@@ -27,9 +33,11 @@ struct SweepSpec {
 
 struct WorkloadRow {
   std::string workload;
-  std::vector<TechniqueComparison> comparisons;  ///< One per spec technique.
-  /// False when this workload's evaluation threw (comparisons is then
-  /// incomplete — see SweepResult::errors for the cause).
+  /// One slot per spec technique (always full-size). Slots are only
+  /// meaningful when `completed` is true.
+  std::vector<TechniqueComparison> comparisons;
+  /// False when any of this workload's runs threw (see SweepResult::errors
+  /// for the first failing phase).
   bool completed = false;
 };
 
@@ -54,6 +62,10 @@ struct SweepResult {
   TechniqueComparison summary(Technique t) const;
 };
 
+/// Runs the sweep. Serial (threads = 1) and threaded schedules produce
+/// bit-identical rows: every (workload, technique) cell is written by
+/// exactly one task into a preallocated slot, and the simulation itself is
+/// deterministic in the spec.
 SweepResult run_sweep(const SweepSpec& spec);
 
 }  // namespace esteem::sim

@@ -1,0 +1,122 @@
+#include "sim/task_pool.hpp"
+
+namespace esteem::sim {
+
+namespace {
+
+// Identifies the pool/worker a thread belongs to so tasks submitted from
+// inside a task land on the submitting worker's own deque (LIFO hot path)
+// instead of round-robining through the external path.
+thread_local TaskPool* tls_pool = nullptr;
+thread_local unsigned tls_worker = 0;
+
+}  // namespace
+
+unsigned TaskPool::resolve_threads(unsigned requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+TaskPool::TaskPool(unsigned threads) {
+  const unsigned n = resolve_threads(threads);
+  if (n <= 1) return;  // inline mode
+  queues_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) queues_.push_back(std::make_unique<Queue>());
+  threads_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  if (inline_mode()) return;
+  {
+    const std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void TaskPool::submit(std::function<void()> task) {
+  if (inline_mode()) {
+    task();  // deterministic serial schedule: run in submission order
+    return;
+  }
+  std::size_t target;
+  {
+    const std::lock_guard<std::mutex> lock(wake_mutex_);
+    if (tls_pool == this) {
+      target = tls_worker;
+    } else {
+      target = submit_rr_++ % queues_.size();
+    }
+    ++pending_;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  wake_cv_.notify_one();
+}
+
+bool TaskPool::try_pop(unsigned self, std::function<void()>& task) {
+  bool got = false;
+  {
+    // Own deque: LIFO, freshest work first (continuations stay cache-hot).
+    Queue& q = *queues_[self];
+    const std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      task = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      got = true;
+    }
+  }
+  for (std::size_t i = 1; !got && i < queues_.size(); ++i) {
+    // Steal FIFO: the oldest queued work is the least cache-affine anyway.
+    Queue& q = *queues_[(self + i) % queues_.size()];
+    const std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      got = true;
+    }
+  }
+  if (got) {
+    const std::lock_guard<std::mutex> lock(wake_mutex_);
+    --pending_;
+    ++running_;
+  }
+  return got;
+}
+
+void TaskPool::worker_loop(unsigned self) {
+  tls_pool = this;
+  tls_worker = self;
+  for (;;) {
+    std::function<void()> task;
+    if (try_pop(self, task)) {
+      task();
+      task = nullptr;  // release captures before the idle notification
+      {
+        const std::lock_guard<std::mutex> lock(wake_mutex_);
+        --running_;
+        if (pending_ == 0 && running_ == 0) idle_cv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    if (stop_) return;
+    wake_cv_.wait(lock, [this] { return stop_ || pending_ > 0; });
+    if (stop_) return;
+  }
+}
+
+void TaskPool::wait_idle() {
+  if (inline_mode()) return;
+  std::unique_lock<std::mutex> lock(wake_mutex_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0 && running_ == 0; });
+}
+
+}  // namespace esteem::sim

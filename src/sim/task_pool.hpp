@@ -1,0 +1,89 @@
+// Shared work-stealing task pool for the sweep layer.
+//
+// Each worker owns a deque: it pushes and pops its own work LIFO (so a
+// baseline task's technique continuations run hot in cache on the thread
+// that produced the baseline), and steals FIFO from other workers when its
+// own deque drains (so the oldest — typically largest — pending work
+// migrates to idle threads). Tasks may submit further tasks; the sweep
+// scheduler uses exactly that to express the technique-depends-on-baseline
+// edge without ever blocking a worker on a future.
+//
+// A pool resolved to <= 1 worker runs in *inline mode*: submit() executes
+// the task immediately on the calling thread, recursively and in submission
+// order. This gives a fully deterministic serial schedule with the same
+// code path the threaded schedule uses — the determinism tests compare the
+// two bit for bit.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace esteem::sim {
+
+class TaskPool {
+ public:
+  /// `threads` = 0 resolves to hardware concurrency. A resolved count of
+  /// <= 1 creates no worker threads (inline mode).
+  explicit TaskPool(unsigned threads = 0);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Worker threads backing the pool (0 in inline mode).
+  unsigned workers() const noexcept { return static_cast<unsigned>(threads_.size()); }
+  bool inline_mode() const noexcept { return threads_.empty(); }
+
+  /// Schedules `task`. In inline mode the task runs before submit returns.
+  /// Tasks must not throw (wrap bodies that can; the sweep scheduler
+  /// converts exceptions to RunError records before they reach the pool).
+  void submit(std::function<void()> task);
+
+  /// submit() wrapped in a packaged_task; the returned future carries the
+  /// result or exception.
+  template <typename F>
+  auto async(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    submit([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Blocks until every submitted task (including tasks submitted by tasks)
+  /// has finished. No-op in inline mode.
+  void wait_idle();
+
+  /// 0 -> hardware concurrency (>= 1).
+  static unsigned resolve_threads(unsigned requested) noexcept;
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(unsigned self);
+  bool try_pop(unsigned self, std::function<void()>& task);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> threads_;
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t pending_ = 0;  ///< Queued, not yet dequeued.
+  std::size_t running_ = 0;  ///< Dequeued, still executing.
+  bool stop_ = false;
+  std::size_t submit_rr_ = 0;  ///< Round-robin cursor for external submits.
+};
+
+}  // namespace esteem::sim

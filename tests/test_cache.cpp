@@ -18,18 +18,31 @@ struct RecordingListener final : LineListener {
     std::uint32_t set;
     std::uint32_t way;
     bool dirty = false;
+    cycle_t now = 0;
   };
   std::vector<Event> events;
 
-  void on_fill(std::uint32_t set, std::uint32_t way, block_t, cycle_t) override {
-    events.push_back({'F', set, way, false});
+  void on_fill(std::uint32_t set, std::uint32_t way, block_t, cycle_t now) override {
+    events.push_back({'F', set, way, false, now});
   }
-  void on_touch(std::uint32_t set, std::uint32_t way, cycle_t) override {
-    events.push_back({'T', set, way, false});
+  void on_touch(std::uint32_t set, std::uint32_t way, cycle_t now) override {
+    events.push_back({'T', set, way, false, now});
   }
-  void on_invalidate(std::uint32_t set, std::uint32_t way, bool dirty, cycle_t) override {
-    events.push_back({'I', set, way, dirty});
+  void on_invalidate(std::uint32_t set, std::uint32_t way, bool dirty,
+                     cycle_t now) override {
+    events.push_back({'I', set, way, dirty, now});
   }
+};
+
+/// RecordingListener that opts out of per-touch notification (fast lane).
+struct TouchlessListener final : LineListener {
+  int fills = 0, touches = 0, invalidates = 0;
+  void on_fill(std::uint32_t, std::uint32_t, block_t, cycle_t) override { ++fills; }
+  void on_touch(std::uint32_t, std::uint32_t, cycle_t) override { ++touches; }
+  void on_invalidate(std::uint32_t, std::uint32_t, bool, cycle_t) override {
+    ++invalidates;
+  }
+  bool wants_touch() const noexcept override { return false; }
 };
 
 TEST(Cache, HitAfterFill) {
@@ -121,7 +134,7 @@ TEST(Cache, ResizeSetFlushesDeactivatedWays) {
   c.access(2, false, 2);
   c.access(3, false, 3);
   std::vector<std::pair<block_t, bool>> evicted;
-  c.resize_set(0, 2, [&](block_t b, bool d) { evicted.emplace_back(b, d); });
+  c.resize_set(0, 2, 4, [&](block_t b, bool d) { evicted.emplace_back(b, d); });
   EXPECT_EQ(c.active_ways(0), 2u);
   EXPECT_EQ(evicted.size(), 2u);
   EXPECT_EQ(c.valid_lines(), 2u);
@@ -134,20 +147,20 @@ TEST(Cache, ResizeSetFlushesDeactivatedWays) {
 
 TEST(Cache, ShrunkSetUsesOnlyActiveWays) {
   SetAssocCache c({1, 4});
-  c.resize_set(0, 2, nullptr);
+  c.resize_set(0, 2, 0, nullptr);
   for (block_t b = 0; b < 10; ++b) c.access(b, false, b);
   EXPECT_EQ(c.valid_lines(), 2u);  // only 2 ways available
   // Re-grow: capacity returns.
-  c.resize_set(0, 4, nullptr);
+  c.resize_set(0, 4, 11, nullptr);
   for (block_t b = 0; b < 4; ++b) c.access(100 + b, false, 100 + b);
   EXPECT_EQ(c.valid_lines(), 4u);
 }
 
 TEST(Cache, ResizeValidation) {
   SetAssocCache c({2, 2});
-  EXPECT_THROW(c.resize_set(0, 0, nullptr), std::invalid_argument);
-  EXPECT_THROW(c.resize_set(0, 3, nullptr), std::invalid_argument);
-  EXPECT_THROW(c.resize_set(9, 1, nullptr), std::out_of_range);
+  EXPECT_THROW(c.resize_set(0, 0, 0, nullptr), std::invalid_argument);
+  EXPECT_THROW(c.resize_set(0, 3, 0, nullptr), std::invalid_argument);
+  EXPECT_THROW(c.resize_set(9, 1, 0, nullptr), std::out_of_range);
 }
 
 TEST(Cache, ListenerSeesLifecycle) {
@@ -163,6 +176,56 @@ TEST(Cache, ListenerSeesLifecycle) {
   EXPECT_EQ(listener.events[2].kind, 'I');
   EXPECT_TRUE(listener.events[2].dirty);
   EXPECT_EQ(listener.events[3].kind, 'F');
+}
+
+TEST(Cache, TouchlessListenerSkipsPerHitDispatch) {
+  SetAssocCache c({1, 2});
+  TouchlessListener listener;
+  c.set_listener(&listener);
+  c.access(0, false, 0);  // fill
+  c.access(0, false, 1);  // hit: on_touch must be skipped
+  c.access(0, false, 2);
+  c.access(1, false, 3);  // fill
+  c.access(2, false, 4);  // evict + fill
+  EXPECT_EQ(listener.fills, 3);
+  EXPECT_EQ(listener.touches, 0);
+  EXPECT_EQ(listener.invalidates, 1);
+}
+
+TEST(Cache, LruTrackingToggleAffectsOnlyLruPos) {
+  SetAssocCache tracked({1, 4});
+  SetAssocCache untracked({1, 4});
+  untracked.set_lru_tracking(false);
+  EXPECT_TRUE(tracked.lru_tracking());
+  EXPECT_FALSE(untracked.lru_tracking());
+
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const block_t blk = rng.below(12);
+    const AccessOutcome a = tracked.access(blk, false, i);
+    const AccessOutcome b = untracked.access(blk, false, i);
+    // Identical behaviour in everything but the lru_pos computation.
+    ASSERT_EQ(a.hit, b.hit);
+    ASSERT_EQ(a.way, b.way);
+    ASSERT_EQ(a.victim, b.victim);
+    ASSERT_EQ(a.victim_dirty, b.victim_dirty);
+  }
+  EXPECT_EQ(tracked.stats().hits, untracked.stats().hits);
+  EXPECT_EQ(tracked.stats().evictions, untracked.stats().evictions);
+}
+
+TEST(Cache, ResizeSetStampsListenerWithActualCycle) {
+  SetAssocCache c({1, 4});
+  RecordingListener listener;
+  c.set_listener(&listener);
+  for (block_t b = 0; b < 4; ++b) c.access(b, false, b);
+  listener.events.clear();
+  c.resize_set(0, 2, 777, nullptr);
+  ASSERT_EQ(listener.events.size(), 2u);
+  for (const auto& e : listener.events) {
+    EXPECT_EQ(e.kind, 'I');
+    EXPECT_EQ(e.now, 777u);  // the reconfiguration cycle, not 0
+  }
 }
 
 TEST(Cache, RejectsBadGeometry) {
@@ -215,7 +278,7 @@ TEST_P(StackInclusion, ShrunkCacheHitsMatchShallowPositions) {
 
   SetAssocCache full({kSets, kWays});
   SetAssocCache shrunk({kSets, kWays});
-  for (std::uint32_t s = 0; s < kSets; ++s) shrunk.resize_set(s, active, nullptr);
+  for (std::uint32_t s = 0; s < kSets; ++s) shrunk.resize_set(s, active, 0, nullptr);
 
   Rng rng(active * 1009 + 13);
   std::uint64_t shallow_hits = 0;

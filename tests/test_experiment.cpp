@@ -7,6 +7,7 @@
 #include "sim/experiment.hpp"
 #include "sim/metrics.hpp"
 #include "sim/report.hpp"
+#include "sim/run_cache.hpp"
 #include "sim/runner.hpp"
 
 namespace esteem::sim {
@@ -117,6 +118,57 @@ TEST(Sweep, RunsAllWorkloadsAndTechniques) {
   for (const auto& row : result.rows) manual += row.comparisons[0].energy_saving_pct;
   EXPECT_NEAR(avg.energy_saving_pct, manual / 3.0, 1e-9);
   EXPECT_THROW(result.summary(Technique::RefrintRPD), std::invalid_argument);
+}
+
+TEST(Sweep, SerialAndThreadedSchedulesAreBitIdentical) {
+  SweepSpec spec;
+  spec.config = tiny();
+  spec.workloads = {wl("gamess"), wl("gobmk"), wl("libquantum"), wl("omnetpp")};
+  spec.techniques = {Technique::Esteem, Technique::RefrintRPV};
+  spec.instr_per_core = 100'000;
+
+  // The memo cache would make the second sweep a trivial replay of the
+  // first; clear it before each so both actually execute their schedule.
+  spec.threads = 1;
+  RunCache::instance().clear();
+  const SweepResult serial = run_sweep(spec);
+  spec.threads = 4;
+  RunCache::instance().clear();
+  const SweepResult threaded = run_sweep(spec);
+
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(threaded.ok());
+  ASSERT_EQ(serial.rows.size(), threaded.rows.size());
+  for (std::size_t w = 0; w < serial.rows.size(); ++w) {
+    const WorkloadRow& a = serial.rows[w];
+    const WorkloadRow& b = threaded.rows[w];
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.completed, b.completed);
+    ASSERT_EQ(a.comparisons.size(), b.comparisons.size());
+    for (std::size_t t = 0; t < a.comparisons.size(); ++t) {
+      const TechniqueComparison& x = a.comparisons[t];
+      const TechniqueComparison& y = b.comparisons[t];
+      EXPECT_EQ(x.workload, y.workload);
+      EXPECT_EQ(x.technique, y.technique);
+      // Exact double equality on purpose: the runner promises bit-identical
+      // rows regardless of schedule.
+      EXPECT_EQ(x.energy_saving_pct, y.energy_saving_pct);
+      EXPECT_EQ(x.weighted_speedup, y.weighted_speedup);
+      EXPECT_EQ(x.fair_speedup, y.fair_speedup);
+      EXPECT_EQ(x.rpki_base, y.rpki_base);
+      EXPECT_EQ(x.rpki_tech, y.rpki_tech);
+      EXPECT_EQ(x.rpki_decrease, y.rpki_decrease);
+      EXPECT_EQ(x.mpki_base, y.mpki_base);
+      EXPECT_EQ(x.mpki_tech, y.mpki_tech);
+      EXPECT_EQ(x.mpki_increase, y.mpki_increase);
+      EXPECT_EQ(x.active_ratio_pct, y.active_ratio_pct);
+      EXPECT_EQ(x.ecc_corrected_reads, y.ecc_corrected_reads);
+      EXPECT_EQ(x.fault_refetches, y.fault_refetches);
+      EXPECT_EQ(x.fault_data_loss, y.fault_data_loss);
+      EXPECT_EQ(x.fault_disabled_lines, y.fault_disabled_lines);
+      EXPECT_EQ(x.correction_rpki, y.correction_rpki);
+    }
+  }
 }
 
 TEST(Sweep, SurvivesThrowingWorkloadSerial) {

@@ -1,0 +1,162 @@
+// Tests for the RunOutcome memo cache: fingerprint stability/sensitivity,
+// hit-equals-fresh-run, exception semantics, and disk persistence.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "sim/experiment.hpp"
+#include "sim/run_cache.hpp"
+
+namespace esteem::sim {
+namespace {
+
+SystemConfig tiny() {
+  SystemConfig cfg = SystemConfig::single_core();
+  cfg.l1.geom = CacheGeometry{8ULL * 1024, 4, 64};
+  cfg.l2.geom = CacheGeometry{512ULL * 1024, 8, 64};
+  cfg.edram.retention_us = 5.0;
+  cfg.esteem.modules = 8;
+  cfg.esteem.interval_cycles = 100'000;
+  cfg.esteem.sampling_ratio = 32;
+  cfg.esteem.a_min = 2;
+  return cfg;
+}
+
+RunSpec tiny_spec(const std::string& benchmark = "gamess",
+                  Technique technique = Technique::Esteem) {
+  RunSpec spec;
+  spec.config = tiny();
+  spec.technique = technique;
+  spec.workload = {benchmark, {benchmark}};
+  spec.instr_per_core = 120'000;
+  spec.warmup_instr_per_core = 20'000;
+  return spec;
+}
+
+void expect_same_outcome(const RunOutcome& a, const RunOutcome& b) {
+  // Exact comparisons on purpose: the cache promises bit-identical results.
+  EXPECT_EQ(a.raw.ipc, b.raw.ipc);
+  EXPECT_EQ(a.raw.instr_per_core, b.raw.instr_per_core);
+  EXPECT_EQ(a.raw.total_instructions, b.raw.total_instructions);
+  EXPECT_EQ(a.raw.wall_cycles, b.raw.wall_cycles);
+  EXPECT_EQ(a.raw.refreshes, b.raw.refreshes);
+  EXPECT_EQ(a.raw.demand_misses, b.raw.demand_misses);
+  EXPECT_EQ(a.raw.avg_active_ratio, b.raw.avg_active_ratio);
+  EXPECT_EQ(a.raw.disabled_slots, b.raw.disabled_slots);
+  EXPECT_EQ(a.raw.timeline.size(), b.raw.timeline.size());
+  EXPECT_EQ(a.energy.leak_l2_j, b.energy.leak_l2_j);
+  EXPECT_EQ(a.energy.dyn_l2_j, b.energy.dyn_l2_j);
+  EXPECT_EQ(a.energy.refresh_l2_j, b.energy.refresh_l2_j);
+  EXPECT_EQ(a.energy.ecc_l2_j, b.energy.ecc_l2_j);
+  EXPECT_EQ(a.energy.mm_j, b.energy.mm_j);
+  EXPECT_EQ(a.energy.algo_j, b.energy.algo_j);
+}
+
+TEST(RunCacheFingerprint, StableForEqualSpecs) {
+  const RunSpec a = tiny_spec();
+  const RunSpec b = tiny_spec();
+  EXPECT_EQ(run_spec_fingerprint(a), run_spec_fingerprint(b));
+  EXPECT_EQ(fingerprint_hash(run_spec_fingerprint(a)),
+            fingerprint_hash(run_spec_fingerprint(b)));
+}
+
+TEST(RunCacheFingerprint, SensitiveToEveryRunKnob) {
+  const std::string base = run_spec_fingerprint(tiny_spec());
+
+  RunSpec s = tiny_spec();
+  s.technique = Technique::RefrintRPV;
+  EXPECT_NE(run_spec_fingerprint(s), base);
+
+  s = tiny_spec();
+  s.seed = 43;
+  EXPECT_NE(run_spec_fingerprint(s), base);
+
+  s = tiny_spec();
+  s.instr_per_core += 1;
+  EXPECT_NE(run_spec_fingerprint(s), base);
+
+  s = tiny_spec();
+  s.warmup_instr_per_core += 1;
+  EXPECT_NE(run_spec_fingerprint(s), base);
+
+  s = tiny_spec();
+  s.record_timeline = true;
+  EXPECT_NE(run_spec_fingerprint(s), base);
+
+  s = tiny_spec();
+  s.workload.benchmarks[0] = "gobmk";
+  EXPECT_NE(run_spec_fingerprint(s), base);
+
+  s = tiny_spec();
+  s.config.esteem.alpha += 0.01;
+  EXPECT_NE(run_spec_fingerprint(s), base);
+
+  s = tiny_spec();
+  s.config.edram.retention_us += 1.0;
+  EXPECT_NE(run_spec_fingerprint(s), base);
+
+  s = tiny_spec();
+  s.config.faults.enabled = !s.config.faults.enabled;
+  EXPECT_NE(run_spec_fingerprint(s), base);
+}
+
+TEST(RunCache, HitIsIdenticalToFreshRun) {
+  auto& cache = RunCache::instance();
+  cache.set_disk_dir("");
+  cache.clear();
+
+  const RunSpec spec = tiny_spec();
+  const RunOutcome fresh = run_experiment(spec);
+
+  const auto first = run_experiment_cached(spec);
+  const auto second = run_experiment_cached(spec);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first.get(), second.get());  // hit shares the same object
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.entries(), 1u);
+  expect_same_outcome(*first, fresh);
+}
+
+TEST(RunCache, ExceptionsAreNotCached) {
+  auto& cache = RunCache::instance();
+  cache.set_disk_dir("");
+  cache.clear();
+
+  const RunSpec spec = tiny_spec("no-such-benchmark");
+  EXPECT_ANY_THROW(run_experiment_cached(spec));
+  EXPECT_ANY_THROW(run_experiment_cached(spec));  // retried, not poisoned
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(RunCache, DiskPersistenceRoundTrip) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "esteem-memo-test";
+  fs::remove_all(dir);
+
+  auto& cache = RunCache::instance();
+  cache.clear();
+  cache.set_disk_dir(dir.string());
+
+  const RunSpec spec = tiny_spec("gobmk");
+  const auto first = run_experiment_cached(spec);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(cache.stats().disk_stores, 1u);
+  ASSERT_FALSE(fs::is_empty(dir));
+
+  cache.clear();  // drop the in-memory map; the memo file survives
+  const auto reloaded = run_experiment_cached(spec);
+  ASSERT_NE(reloaded, nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().disk_hits, 1u);
+  expect_same_outcome(*reloaded, *first);
+
+  cache.set_disk_dir("");
+  cache.clear();
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace esteem::sim

@@ -1,0 +1,205 @@
+// esteem_bench — wall-clock harness for the sweep layer.
+//
+// Runs the paper's workload sweep end to end and reports throughput as a
+// single JSON line, so perf trajectories can be tracked across commits:
+//
+//   esteem_bench [options]
+//     --workloads single|dual|N  workload list: all 34 single-core pairs,
+//                                the 17 dual-core pairs, or the first N
+//                                single-core workloads (default: 8)
+//     --techniques A[,B]         techniques vs. baseline (default: esteem,rpv)
+//     --instr N                  measured instructions per core (default 2M)
+//     --warmup N                 warm-up instructions per core (default instr/5)
+//     --jobs N                   worker threads (0 = hardware concurrency)
+//     --repeat K                 run the sweep K times (default 2). The
+//                                first repeat is cold; later repeats are
+//                                served by the RunOutcome memo cache, so the
+//                                gap between repeat 0 and repeat 1 measures
+//                                memoization, not simulation.
+//     --json FILE                also write the JSON line to FILE
+//
+// The JSON reports, per repeat: wall seconds, simulated Minstr/s (total
+// simulated instructions including warm-up across every run of the sweep,
+// divided by wall time), and the memo-cache hit/miss counters observed for
+// that repeat.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/run_cache.hpp"
+#include "sim/runner.hpp"
+#include "sim/task_pool.hpp"
+#include "trace/workloads.hpp"
+
+namespace {
+
+using namespace esteem;
+
+[[noreturn]] void usage(const char* err = nullptr) {
+  if (err) std::fprintf(stderr, "esteem_bench: %s\n", err);
+  std::fprintf(stderr,
+               "usage: esteem_bench [--workloads single|dual|N]\n"
+               "                    [--techniques A[,B]] [--instr N]\n"
+               "                    [--warmup N] [--jobs N] [--repeat K]\n"
+               "                    [--json FILE]\n");
+  std::exit(err ? 2 : 0);
+}
+
+std::vector<std::string> split_csv(const std::string& arg) {
+  std::vector<std::string> out;
+  std::istringstream is(arg);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+struct RepeatSample {
+  double wall_seconds = 0.0;
+  double minstr_per_s = 0.0;
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workloads_arg = "8";
+  std::string techniques_arg = "esteem,rpv";
+  std::string json_path;
+  instr_t instr = 2'000'000;
+  instr_t warmup = 0;  // 0 = instr / 5
+  unsigned jobs = 0;
+  unsigned repeat = 2;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--workloads") workloads_arg = value();
+    else if (arg == "--techniques") techniques_arg = value();
+    else if (arg == "--instr") instr = std::strtoull(value().c_str(), nullptr, 10);
+    else if (arg == "--warmup") warmup = std::strtoull(value().c_str(), nullptr, 10);
+    else if (arg == "--jobs")
+      jobs = static_cast<unsigned>(std::strtoul(value().c_str(), nullptr, 10));
+    else if (arg == "--repeat")
+      repeat = static_cast<unsigned>(std::strtoul(value().c_str(), nullptr, 10));
+    else if (arg == "--json") json_path = value();
+    else if (arg == "--help" || arg == "-h") usage();
+    else usage(("unknown option " + arg).c_str());
+  }
+  if (repeat == 0) usage("--repeat must be >= 1");
+  if (warmup == 0) warmup = instr / 5;
+
+  sim::SweepSpec spec;
+  if (workloads_arg == "single") {
+    spec.workloads = trace::single_core_workloads();
+    spec.config = SystemConfig::single_core();
+  } else if (workloads_arg == "dual") {
+    spec.workloads = trace::dual_core_workloads();
+    spec.config = SystemConfig::dual_core();
+  } else {
+    const auto n = static_cast<std::size_t>(
+        std::strtoull(workloads_arg.c_str(), nullptr, 10));
+    if (n == 0) usage("--workloads must be single, dual, or a positive count");
+    auto all = trace::single_core_workloads();
+    all.resize(std::min(n, all.size()));
+    spec.workloads = std::move(all);
+    spec.config = SystemConfig::single_core();
+  }
+  spec.techniques.clear();
+  for (const std::string& name : split_csv(techniques_arg)) {
+    spec.techniques.push_back(sim::parse_technique(name));
+  }
+  if (spec.techniques.empty()) usage("empty technique list");
+  spec.instr_per_core = instr;
+  spec.warmup_instr_per_core = warmup;
+  spec.threads = jobs;
+  // Same interval scaling rule as the CLI's default sweep configuration.
+  spec.config.esteem.interval_cycles = std::max<cycle_t>(
+      spec.config.retention_cycles(),
+      static_cast<cycle_t>(10e6 * 4.0 * static_cast<double>(instr) / 400e6));
+  spec.config.esteem.hysteresis_intervals = 2;
+  spec.config.esteem.shrink_confirm_intervals = 2;
+
+  const unsigned threads = sim::TaskPool::resolve_threads(jobs);
+  const std::size_t runs_per_sweep =
+      spec.workloads.size() * (1 + spec.techniques.size());
+  const double instr_per_sweep =
+      static_cast<double>(runs_per_sweep) * spec.config.ncores *
+      static_cast<double>(instr + warmup);
+
+  std::fprintf(stderr,
+               "esteem_bench: %zu workload(s) x %zu technique(s) + baseline, "
+               "%llu instr/core (+%llu warm-up), %u worker thread(s), %u repeat(s)\n",
+               spec.workloads.size(), spec.techniques.size(),
+               static_cast<unsigned long long>(instr),
+               static_cast<unsigned long long>(warmup), threads, repeat);
+
+  std::vector<RepeatSample> samples;
+  for (unsigned r = 0; r < repeat; ++r) {
+    const sim::RunCacheStats before = sim::RunCache::instance().stats();
+    const auto t0 = std::chrono::steady_clock::now();
+    const sim::SweepResult result = sim::run_sweep(spec);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!result.ok()) {
+      for (const sim::RunError& e : result.errors) {
+        std::fprintf(stderr, "esteem_bench: workload %s (%s) failed: %s\n",
+                     e.workload.c_str(), e.technique.c_str(), e.what.c_str());
+      }
+      return 3;
+    }
+    const sim::RunCacheStats after = sim::RunCache::instance().stats();
+    RepeatSample s;
+    s.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+    s.minstr_per_s = instr_per_sweep / 1e6 / std::max(s.wall_seconds, 1e-9);
+    s.memo_hits = after.hits - before.hits;
+    s.memo_misses = after.misses - before.misses;
+    samples.push_back(s);
+    std::fprintf(stderr,
+                 "  repeat %u: %.3f s wall, %.2f simulated Minstr/s, "
+                 "memo %llu hit / %llu miss\n",
+                 r, s.wall_seconds, s.minstr_per_s,
+                 static_cast<unsigned long long>(s.memo_hits),
+                 static_cast<unsigned long long>(s.memo_misses));
+  }
+
+  std::ostringstream json;
+  json << "{\"workloads\":" << spec.workloads.size() << ",\"techniques\":[";
+  for (std::size_t t = 0; t < spec.techniques.size(); ++t) {
+    json << (t ? "," : "") << '"' << to_string(spec.techniques[t]) << '"';
+  }
+  json << "],\"instr_per_core\":" << instr << ",\"warmup_per_core\":" << warmup
+       << ",\"threads\":" << threads << ",\"runs_per_sweep\":" << runs_per_sweep;
+  char buf[64];
+  json << ",\"repeats\":[";
+  for (std::size_t r = 0; r < samples.size(); ++r) {
+    const RepeatSample& s = samples[r];
+    std::snprintf(buf, sizeof buf, "%.6f", s.wall_seconds);
+    json << (r ? "," : "") << "{\"wall_seconds\":" << buf;
+    std::snprintf(buf, sizeof buf, "%.3f", s.minstr_per_s);
+    json << ",\"simulated_minstr_per_s\":" << buf << ",\"memo_hits\":" << s.memo_hits
+         << ",\"memo_misses\":" << s.memo_misses << '}';
+  }
+  json << "]}";
+
+  std::printf("%s\n", json.str().c_str());
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "esteem_bench: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::fprintf(f, "%s\n", json.str().c_str());
+    std::fclose(f);
+  }
+  return 0;
+}

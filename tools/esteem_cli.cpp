@@ -14,6 +14,9 @@
 //                              at least one workload errored.
 //     --techniques A[,B]       techniques compared in sweep mode
 //                              (default: esteem,rpv)
+//     --jobs N                 sweep worker threads (0 = hardware
+//                              concurrency, the default); the run header
+//                              prints the resolved parallelism
 //     --csv FILE.csv           write the sweep result table to CSV
 //     --config FILE            INI system configuration (see --dump-config)
 //     --instr N                measured instructions per core
@@ -37,6 +40,7 @@
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
+#include "sim/task_pool.hpp"
 #include "trace/spec_profiles.hpp"
 
 namespace {
@@ -48,10 +52,10 @@ using namespace esteem;
   std::fprintf(stderr,
                "usage: esteem_cli [--workload A[,B]] [--technique NAME]\n"
                "                  [--sweep WL[,WL]] [--techniques A[,B]]\n"
-               "                  [--csv FILE] [--config FILE] [--instr N]\n"
-               "                  [--warmup N] [--seed N] [--compare]\n"
-               "                  [--timeline FILE] [--dump-config]\n"
-               "                  [--list-workloads]\n");
+               "                  [--jobs N] [--csv FILE] [--config FILE]\n"
+               "                  [--instr N] [--warmup N] [--seed N]\n"
+               "                  [--compare] [--timeline FILE]\n"
+               "                  [--dump-config] [--list-workloads]\n");
   std::exit(2);
 }
 
@@ -112,12 +116,14 @@ esteem::trace::Workload parse_sweep_workload(const std::string& item) {
 /// workloads completed, 3 = at least one workload errored).
 int run_sweep_mode(const SystemConfig& cfg, const std::string& sweep_arg,
                    const std::string& techniques_arg, const std::string& csv_path,
-                   instr_t instr, instr_t warmup, std::uint64_t seed) {
+                   instr_t instr, instr_t warmup, std::uint64_t seed,
+                   unsigned jobs) {
   sim::SweepSpec spec;
   spec.config = cfg;
   spec.seed = seed;
   spec.instr_per_core = instr;
   spec.warmup_instr_per_core = warmup;
+  spec.threads = jobs;
   for (const std::string& item : split_csv(sweep_arg)) {
     spec.workloads.push_back(parse_sweep_workload(item));
   }
@@ -129,6 +135,9 @@ int run_sweep_mode(const SystemConfig& cfg, const std::string& sweep_arg,
     }
   }
 
+  std::printf("sweep: %zu workload(s) x %zu technique(s) + baseline, %u worker thread(s)\n",
+              spec.workloads.size(), spec.techniques.size(),
+              sim::TaskPool::resolve_threads(jobs));
   const sim::SweepResult result = sim::run_sweep(spec);
   std::printf("%s", sim::figure_report(result, "sweep").c_str());
   if (!csv_path.empty()) {
@@ -162,6 +171,7 @@ int main(int argc, char** argv) {
   instr_t instr = 4'000'000;
   instr_t warmup = 800'000;
   std::uint64_t seed = 42;
+  unsigned jobs = 0;
   bool compare = false;
   bool dump_config = false;
 
@@ -180,6 +190,8 @@ int main(int argc, char** argv) {
     else if (arg == "--instr") instr = std::strtoull(value().c_str(), nullptr, 10);
     else if (arg == "--warmup") warmup = std::strtoull(value().c_str(), nullptr, 10);
     else if (arg == "--seed") seed = std::strtoull(value().c_str(), nullptr, 10);
+    else if (arg == "--jobs")
+      jobs = static_cast<unsigned>(std::strtoul(value().c_str(), nullptr, 10));
     else if (arg == "--compare") compare = true;
     else if (arg == "--timeline") timeline_path = value();
     else if (arg == "--dump-config") dump_config = true;
@@ -222,7 +234,7 @@ int main(int argc, char** argv) {
         return 0;
       }
       return run_sweep_mode(cfg, sweep_arg, techniques_arg, csv_path, instr, warmup,
-                            seed);
+                            seed, jobs);
     }
 
     const std::vector<std::string> benchmarks = split_csv(workload);
