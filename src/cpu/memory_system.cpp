@@ -1,6 +1,7 @@
 #include "cpu/memory_system.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "edram/ecc.hpp"
 #include "edram/smart_refresh.hpp"
@@ -231,6 +232,86 @@ void MemorySystem::tick_interval(cycle_t now) {
 
   // Valid/active footprint changed: re-derive the bank refresh load.
   engine_->sync_bank_load(now);
+
+  if (telemetry_ != nullptr) sample_interval(now);
+}
+
+void MemorySystem::set_telemetry(telemetry::RunSink* sink, cycle_t now) {
+  telemetry_ = sink;
+  tel_last_ = {};  // measurement counters were just reset
+  tel_last_cycle_ = now;
+  tel_last_ways_ = module_active_ways();
+}
+
+void MemorySystem::sample_interval(cycle_t now) {
+  telemetry::RunSink& sink = *telemetry_;
+  const std::uint64_t hits = stats_.demand_l2_hits;
+  const std::uint64_t misses = stats_.demand_l2_misses;
+  const std::uint64_t refr = refreshes();
+  const std::uint64_t trans = stats_.reconfig_transitions;
+  const std::uint64_t rwb = stats_.reconfig_writebacks;
+  const edram::FaultCounters fc = fault_counters();
+  const std::uint64_t corrected = fc.corrected_reads;
+  const std::uint64_t uncorrectable = fc.uncorrectable();
+  const std::vector<std::uint32_t> ways = module_active_ways();
+
+  if (sink.recorder) {
+    // Count columns are per-interval deltas; active_ratio and the per-module
+    // way counts are the state applied at this boundary (the same value the
+    // Figure 2 timeline records). Order must match telemetry::interval_columns.
+    std::vector<double> row{
+        active_fraction(),
+        static_cast<double>(hits - tel_last_.demand_hits),
+        static_cast<double>(misses - tel_last_.demand_misses),
+        static_cast<double>(refr - tel_last_.refreshes),
+        static_cast<double>(trans - tel_last_.transitions),
+        static_cast<double>(rwb - tel_last_.reconfig_writebacks),
+        static_cast<double>(corrected - tel_last_.corrected_reads),
+        static_cast<double>(uncorrectable - tel_last_.uncorrectable)};
+    for (std::uint32_t w : ways) row.push_back(static_cast<double>(w));
+    sink.recorder->record(now, row);
+  }
+
+  if (sink.trace != nullptr) {
+    using telemetry::TraceEmitter;
+    const double t0 = sink.sim_us(tel_last_cycle_);
+    const double t1 = sink.sim_us(now);
+    // Run lane: one span per interval with the headline deltas.
+    sink.trace->complete(
+        TraceEmitter::kSimPid, sink.sim_tid, "interval", t0, t1 - t0,
+        "{\"hits\":" + std::to_string(hits - tel_last_.demand_hits) +
+            ",\"misses\":" + std::to_string(misses - tel_last_.demand_misses) +
+            ",\"refreshes\":" + std::to_string(refr - tel_last_.refreshes) + "}");
+    // Module lanes: the way decision *in effect* during the elapsed window
+    // (the decision taken at `now` governs the next span).
+    for (std::size_t m = 0; m < tel_last_ways_.size(); ++m) {
+      sink.trace->complete(
+          TraceEmitter::kSimPid, sink.sim_tid + 1 + static_cast<std::uint32_t>(m),
+          "ways=" + std::to_string(tel_last_ways_[m]), t0, t1 - t0,
+          "{\"ways\":" + std::to_string(tel_last_ways_[m]) + "}");
+    }
+    if (trans > tel_last_.transitions) {
+      sink.trace->instant(
+          TraceEmitter::kSimPid, sink.sim_tid, "reconfig", t1,
+          "{\"transitions\":" + std::to_string(trans - tel_last_.transitions) +
+              ",\"writebacks\":" +
+              std::to_string(rwb - tel_last_.reconfig_writebacks) + "}");
+    }
+    if (uncorrectable > tel_last_.uncorrectable) {
+      sink.trace->instant(
+          TraceEmitter::kSimPid, sink.sim_tid, "fault.uncorrectable", t1,
+          "{\"events\":" + std::to_string(uncorrectable - tel_last_.uncorrectable) +
+              "}");
+    }
+    sink.trace->counter(TraceEmitter::kSimPid, sink.label + ".active_ratio", t1,
+                        active_fraction());
+    sink.trace->counter(TraceEmitter::kSimPid, sink.label + ".refreshes_per_interval",
+                        t1, static_cast<double>(refr - tel_last_.refreshes));
+  }
+
+  tel_last_ = {hits, misses, refr, trans, rwb, corrected, uncorrectable};
+  tel_last_cycle_ = now;
+  tel_last_ways_ = ways;
 }
 
 void MemorySystem::reset_measurement(cycle_t now) {

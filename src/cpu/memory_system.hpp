@@ -23,6 +23,7 @@
 #include "mem/main_memory.hpp"
 #include "profiler/atd.hpp"
 #include "profiler/leader_sets.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace esteem::cpu {
 
@@ -87,8 +88,17 @@ class MemorySystem {
   Technique technique() const noexcept { return technique_; }
   cache::SetAssocCache& l2() noexcept { return l2_; }
 
+  /// Attaches a per-run telemetry sink (null detaches). Interval rows and
+  /// simulated-time trace events are emitted at every tick_interval from
+  /// `now` on; delta baselines start at the current (just-reset) counters.
+  /// The sink must outlive the run. No-op cost when never attached.
+  void set_telemetry(telemetry::RunSink* sink, cycle_t now);
+
  private:
   cycle_t l2_access(block_t block, bool is_store, cycle_t now, bool demand);
+
+  /// Emits one interval telemetry sample (recorder row + trace events).
+  void sample_interval(cycle_t now);
 
   /// Processes fault-injection refresh epochs scheduled up to `now`.
   void pump_faults(cycle_t now);
@@ -123,6 +133,21 @@ class MemorySystem {
   std::unique_ptr<core::EsteemController> controller_;
 
   MemorySystemStats stats_;
+
+  // Per-run telemetry sink (null = telemetry off, the default). Baselines
+  // hold the previous interval's cumulative counters so samples are deltas.
+  telemetry::RunSink* telemetry_ = nullptr;
+  struct TelemetryBaseline {
+    std::uint64_t demand_hits = 0;
+    std::uint64_t demand_misses = 0;
+    std::uint64_t refreshes = 0;
+    std::uint64_t transitions = 0;
+    std::uint64_t reconfig_writebacks = 0;
+    std::uint64_t corrected_reads = 0;
+    std::uint64_t uncorrectable = 0;
+  } tel_last_;
+  cycle_t tel_last_cycle_ = 0;
+  std::vector<std::uint32_t> tel_last_ways_;  ///< Ways in effect last window.
 
   // Time-weighted F_A integral (in cycles).
   double fa_cycles_ = 0.0;

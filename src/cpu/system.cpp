@@ -62,6 +62,11 @@ RawRunResult System::run(const RunOptions& options) {
     measure_start = std::min(measure_start, cores_[c].cycles());
   }
   mem_.reset_measurement(measure_start);
+  if (options.telemetry != nullptr) {
+    // Attached after the measurement reset so interval deltas and trace
+    // timestamps cover exactly the measured window.
+    mem_.set_telemetry(options.telemetry, measure_start);
+  }
 
   const instr_t target = warmup + options.instr_per_core;
   std::vector<instr_t> base_instr(cores_.size());

@@ -52,6 +52,9 @@ struct RunOptions {
   instr_t warmup_instr_per_core = 0;
   bool record_timeline = false;
   std::uint64_t seed = 42;
+  /// Optional per-run telemetry sink (interval time-series + sim-time trace
+  /// lanes); must outlive run(). Null = telemetry off.
+  telemetry::RunSink* telemetry = nullptr;
 };
 
 class System {

@@ -4,10 +4,66 @@
 #include "energy/cacti_table.hpp"
 #include "sim/metrics.hpp"
 #include "sim/run_cache.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace esteem::sim {
 
+std::string run_label(const RunSpec& spec) {
+  return telemetry::sanitize_label(spec.workload.name + "." +
+                                   std::string(to_string(spec.technique)) + ".s" +
+                                   std::to_string(spec.seed));
+}
+
+namespace {
+
+/// Publishes end-of-run aggregates into the global counter registry under
+/// the dotted hierarchy (`l2.*`, `mm.*`, `faults.*`, `esteem.*`). Counters
+/// sum across every run of the process; gauges carry the latest run.
+void publish_run_counters(const RunSpec& spec, const RunOutcome& outcome) {
+  telemetry::CounterRegistry& reg = telemetry::registry();
+  const cpu::RawRunResult& r = outcome.raw;
+  reg.counter("runs.completed").add();
+  reg.counter("l2.demand_hits").add(r.mem_stats.demand_l2_hits);
+  reg.counter("l2.demand_misses").add(r.mem_stats.demand_l2_misses);
+  reg.counter("l2.refreshes").add(r.refreshes);
+  reg.counter("l2.reconfig_transitions").add(r.mem_stats.reconfig_transitions);
+  reg.counter("l2.reconfig_writebacks").add(r.mem_stats.reconfig_writebacks);
+  reg.counter("mm.writebacks").add(r.mem_stats.mm_writebacks);
+  reg.counter("faults.corrected_reads").add(r.faults.corrected_reads);
+  reg.counter("faults.uncorrectable").add(r.faults.uncorrectable());
+  reg.histogram("run.wall_cycles").observe(r.wall_cycles);
+  reg.gauge("run.last_active_ratio").set(r.avg_active_ratio);
+  if (spec.technique == Technique::Esteem) {
+    const std::size_t modules = r.timeline.empty()
+                                    ? 0
+                                    : r.timeline.back().module_ways.size();
+    for (std::size_t m = 0; m < modules; ++m) {
+      reg.gauge("esteem.module" + std::to_string(m) + ".active_ways")
+          .set(static_cast<double>(r.timeline.back().module_ways[m]));
+    }
+  }
+}
+
+}  // namespace
+
 RunOutcome run_experiment(const RunSpec& spec) {
+  telemetry::Telemetry& tel = telemetry::Telemetry::instance();
+
+  // Per-run sink (null when telemetry is off): interval time-series columns
+  // plus one simulated-time trace lane per ESTEEM module.
+  const std::uint32_t modules =
+      spec.technique == Technique::Esteem ? spec.config.esteem.modules : 0;
+  std::unique_ptr<telemetry::RunSink> sink;
+  std::string label;
+  if (tel.active()) {
+    label = run_label(spec);
+    sink = tel.begin_run(label, spec.config.freq_ghz,
+                         telemetry::interval_columns(modules), 1 + modules);
+  }
+
+  const double wall_t0 =
+      sink && sink->trace ? telemetry::TraceEmitter::wall_now_us() : 0.0;
+
   cpu::System system(spec.config, spec.technique, spec.workload.benchmarks, spec.seed);
 
   cpu::RunOptions options;
@@ -15,10 +71,15 @@ RunOutcome run_experiment(const RunSpec& spec) {
   options.warmup_instr_per_core = spec.warmup_instr_per_core;
   options.record_timeline = spec.record_timeline;
   options.seed = spec.seed;
+  options.telemetry = sink.get();
 
   RunOutcome outcome;
-  outcome.raw = system.run(options);
+  {
+    telemetry::ScopedTimer t(tel.profiler(), "run.simulate");
+    outcome.raw = system.run(options);
+  }
 
+  telemetry::ScopedTimer energy_timer(tel.profiler(), "run.energy");
   energy::EnergyModelParams params;
   params.l2 = energy::l2_energy_params(spec.config.l2.geom.size_bytes);
   if (spec.technique == Technique::EccExtended) {
@@ -30,6 +91,18 @@ RunOutcome run_experiment(const RunSpec& spec) {
     params.l2.e_dyn_nj_per_access *= 1.0 + overhead;
   }
   outcome.energy = energy::compute_energy(params, outcome.raw.counters);
+  energy_timer.stop();
+
+  if (sink) {
+    if (sink->trace != nullptr) {
+      sink->trace->complete(telemetry::TraceEmitter::kWallPid,
+                            telemetry::TraceEmitter::wall_tid(), "simulate " + label,
+                            wall_t0,
+                            telemetry::TraceEmitter::wall_now_us() - wall_t0);
+    }
+    tel.end_run(*sink);
+  }
+  if (tel.active()) publish_run_counters(spec, outcome);
   return outcome;
 }
 

@@ -32,7 +32,16 @@ struct RunOutcome {
   energy::EnergyBreakdown energy;
 };
 
-/// Builds a System, runs it, evaluates the energy model.
+/// Telemetry label of a run — "<workload>.<technique>.s<seed>", sanitized
+/// for file names. The interval series of a telemetry-enabled run lands in
+/// <telemetry-dir>/<label>.intervals.jsonl.
+std::string run_label(const RunSpec& spec);
+
+/// Builds a System, runs it, evaluates the energy model. When the telemetry
+/// hub is active this also records the per-interval time-series, emits
+/// simulated-time trace spans, and publishes end-of-run aggregates into the
+/// counter registry; with telemetry off the run is bit-identical and pays no
+/// instrumentation cost.
 RunOutcome run_experiment(const RunSpec& spec);
 
 /// run_experiment through the process-wide RunCache (sim/run_cache.hpp):

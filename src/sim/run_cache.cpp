@@ -9,8 +9,29 @@
 #include <utility>
 
 #include "common/env.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace esteem::sim {
+
+namespace {
+
+/// Mirrors a memo lookup into the telemetry layer: `memo.hits`/`memo.misses`
+/// counters plus a wall-clock instant on the requesting worker's trace row.
+/// No-op (one relaxed load) when telemetry is off.
+void note_lookup(bool hit, std::uint64_t hash) {
+  if (!telemetry::active()) return;
+  telemetry::registry().counter(hit ? "memo.hits" : "memo.misses").add();
+  if (telemetry::TraceEmitter* tr = telemetry::trace_sink()) {
+    char args[64];
+    std::snprintf(args, sizeof args, "{\"key\":\"%016llx\"}",
+                  static_cast<unsigned long long>(hash));
+    tr->instant(telemetry::TraceEmitter::kWallPid, telemetry::TraceEmitter::wall_tid(),
+                hit ? "memo hit" : "memo miss", telemetry::TraceEmitter::wall_now_us(),
+                args);
+  }
+}
+
+}  // namespace
 
 namespace {
 
@@ -293,6 +314,7 @@ std::shared_ptr<const RunOutcome> RunCache::get_or_run(const RunSpec& spec) {
       map_.emplace(fp, future);
     }
   }
+  if (telemetry::active()) note_lookup(/*hit=*/!owner, fingerprint_hash(fp));
   if (!owner) return future.get();  // blocks only while the owner computes
 
   try {
@@ -318,6 +340,11 @@ std::shared_ptr<const RunOutcome> RunCache::get_or_run(const RunSpec& spec) {
 void RunCache::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   map_.clear();
+  stats_ = {};
+}
+
+void RunCache::reset_stats() {
+  const std::lock_guard<std::mutex> lock(mutex_);
   stats_ = {};
 }
 

@@ -65,6 +65,12 @@ class RunCache {
   /// Drops every in-memory entry and zeroes the stats. Disk files survive.
   void clear();
 
+  /// Zeroes the hit/miss/disk counters while keeping every cached entry.
+  /// Benches and tools call this to scope the process-global counters to one
+  /// invocation, so a second bench in the same process reports its own hit
+  /// rate instead of inheriting the first one's history.
+  void reset_stats();
+
   /// Enables ("" disables) on-disk persistence. The directory is created on
   /// first store.
   void set_disk_dir(std::string dir);

@@ -9,10 +9,34 @@
 #include "common/stats.hpp"
 #include "sim/run_cache.hpp"
 #include "sim/task_pool.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace esteem::sim {
 
 namespace {
+
+/// RAII wall-clock span for one sweep task (no-op when tracing is off):
+/// pid kWallPid, one row per pool worker thread, so the task-pool schedule
+/// is visible next to the simulated-time lanes in Perfetto.
+class TaskSpan {
+ public:
+  explicit TaskSpan(std::string name)
+      : trace_(telemetry::trace_sink()), name_(std::move(name)),
+        t0_(trace_ != nullptr ? telemetry::TraceEmitter::wall_now_us() : 0.0) {
+    if (telemetry::active()) telemetry::registry().counter("sweep.tasks").add();
+  }
+  ~TaskSpan() {
+    if (trace_ == nullptr) return;
+    trace_->complete(telemetry::TraceEmitter::kWallPid,
+                     telemetry::TraceEmitter::wall_tid(), name_, t0_,
+                     telemetry::TraceEmitter::wall_now_us() - t0_);
+  }
+
+ private:
+  telemetry::TraceEmitter* trace_;
+  std::string name_;
+  double t0_;
+};
 
 /// Per-workload scheduling state. The baseline future is fulfilled exactly
 /// once by the workload's baseline task; technique tasks are only submitted
@@ -49,6 +73,9 @@ RunError to_run_error(const std::string& workload, const std::string& phase) {
 }  // namespace
 
 SweepResult run_sweep(const SweepSpec& spec) {
+  // Self-profiling: the sweep's wall time lands in the phase rollup printed
+  // with the sweep summary and emitted in the esteem_bench JSON.
+  telemetry::ScopedTimer sweep_timer(telemetry::profiler(), "sweep");
   if (spec.workloads.empty()) throw std::invalid_argument("run_sweep: no workloads");
   for (Technique t : spec.techniques) {
     if (t == Technique::BaselinePeriodicAll) {
@@ -89,6 +116,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
     pool.submit([&spec, &result, &states, &pool, &done, wi, n_techniques] {
       const trace::Workload& workload = spec.workloads[wi];
       WorkloadTaskState& state = *states[wi];
+      const TaskSpan span("baseline:" + workload.name);
 
       std::shared_ptr<const RunOutcome> base;
       try {
@@ -108,6 +136,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
           const trace::Workload& wl = spec.workloads[wi];
           const Technique technique = spec.techniques[ti];
           WorkloadTaskState& st = *states[wi];
+          const TaskSpan span(std::string(to_string(technique)) + ":" + wl.name);
           try {
             const std::shared_ptr<const RunOutcome> baseline = st.baseline.get();
             const std::shared_ptr<const RunOutcome> tech =

@@ -1,5 +1,9 @@
 #include "sim/task_pool.hpp"
 
+#include <string>
+
+#include "telemetry/telemetry.hpp"
+
 namespace esteem::sim {
 
 namespace {
@@ -94,6 +98,12 @@ bool TaskPool::try_pop(unsigned self, std::function<void()>& task) {
 void TaskPool::worker_loop(unsigned self) {
   tls_pool = this;
   tls_worker = self;
+  if (telemetry::TraceEmitter* tr = telemetry::trace_sink()) {
+    // Name this worker's wall-clock trace row after its pool index.
+    tr->set_thread_name(telemetry::TraceEmitter::kWallPid,
+                        telemetry::TraceEmitter::wall_tid(),
+                        "pool worker " + std::to_string(self));
+  }
   for (;;) {
     std::function<void()> task;
     if (try_pop(self, task)) {

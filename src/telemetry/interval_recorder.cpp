@@ -1,0 +1,155 @@
+#include "telemetry/interval_recorder.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace esteem::telemetry {
+
+namespace {
+
+void append_number(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+/// Advances past `expected` or throws; whitespace is not tolerated because
+/// only our own writer output is accepted.
+void expect(const std::string& line, std::size_t& pos, char expected) {
+  if (pos >= line.size() || line[pos] != expected) {
+    throw std::runtime_error("interval jsonl: expected '" + std::string(1, expected) +
+                             "' at column " + std::to_string(pos));
+  }
+  ++pos;
+}
+
+std::string parse_key(const std::string& line, std::size_t& pos) {
+  expect(line, pos, '"');
+  const std::size_t end = line.find('"', pos);
+  if (end == std::string::npos) throw std::runtime_error("interval jsonl: unterminated key");
+  std::string key = line.substr(pos, end - pos);
+  pos = end + 1;
+  expect(line, pos, ':');
+  return key;
+}
+
+double parse_number(const std::string& line, std::size_t& pos) {
+  const char* start = line.c_str() + pos;
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) throw std::runtime_error("interval jsonl: expected a number");
+  pos += static_cast<std::size_t>(end - start);
+  return v;
+}
+
+}  // namespace
+
+IntervalRecorder::IntervalRecorder(std::vector<std::string> columns)
+    : columns_(std::move(columns)), series_(columns_.size()) {}
+
+void IntervalRecorder::record(std::uint64_t cycle, const std::vector<double>& values) {
+  if (values.size() != columns_.size()) {
+    throw std::invalid_argument("IntervalRecorder: row has " +
+                                std::to_string(values.size()) + " values, expected " +
+                                std::to_string(columns_.size()));
+  }
+  cycles_.push_back(cycle);
+  for (std::size_t c = 0; c < values.size(); ++c) series_[c].push_back(values[c]);
+}
+
+const std::vector<double>& IntervalRecorder::series(const std::string& column) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (columns_[c] == column) return series_[c];
+  }
+  throw std::out_of_range("IntervalRecorder: no column '" + column + "'");
+}
+
+void IntervalRecorder::write_jsonl(std::ostream& os) const {
+  std::string line;
+  for (std::size_t r = 0; r < rows(); ++r) {
+    line.clear();
+    line += "{\"cycle\":";
+    line += std::to_string(cycles_[r]);
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      line += ",\"";
+      line += columns_[c];
+      line += "\":";
+      append_number(line, series_[c][r]);
+    }
+    line += "}\n";
+    os << line;
+  }
+}
+
+void IntervalRecorder::write_csv(std::ostream& os) const {
+  std::string line = "cycle";
+  for (const std::string& c : columns_) {
+    line += ',';
+    line += c;
+  }
+  os << line << '\n';
+  for (std::size_t r = 0; r < rows(); ++r) {
+    line = std::to_string(cycles_[r]);
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      line += ',';
+      append_number(line, series_[c][r]);
+    }
+    os << line << '\n';
+  }
+}
+
+bool IntervalRecorder::write_jsonl_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) return false;
+  write_jsonl(out);
+  return out.good();
+}
+
+IntervalRecorder IntervalRecorder::read_jsonl(std::istream& is) {
+  std::vector<std::string> columns;
+  std::vector<std::uint64_t> cycles;
+  std::vector<std::vector<double>> values;  // [row][column]
+
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::size_t pos = 0;
+    expect(line, pos, '{');
+    bool first = true;
+    std::vector<std::string> keys;
+    std::vector<double> row;
+    std::uint64_t cycle = 0;
+    bool have_cycle = false;
+    while (pos < line.size() && line[pos] != '}') {
+      if (!first) expect(line, pos, ',');
+      first = false;
+      const std::string key = parse_key(line, pos);
+      const double v = parse_number(line, pos);
+      if (key == "cycle") {
+        cycle = static_cast<std::uint64_t>(v);
+        have_cycle = true;
+      } else {
+        keys.push_back(key);
+        row.push_back(v);
+      }
+    }
+    expect(line, pos, '}');
+    if (!have_cycle) throw std::runtime_error("interval jsonl: row without \"cycle\"");
+    if (columns.empty() && cycles.empty()) {
+      columns = keys;
+    } else if (keys != columns) {
+      throw std::runtime_error("interval jsonl: inconsistent columns across rows");
+    }
+    cycles.push_back(cycle);
+    values.push_back(std::move(row));
+  }
+
+  IntervalRecorder rec(std::move(columns));
+  for (std::size_t r = 0; r < cycles.size(); ++r) rec.record(cycles[r], values[r]);
+  return rec;
+}
+
+}  // namespace esteem::telemetry

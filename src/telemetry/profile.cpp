@@ -1,0 +1,78 @@
+#include "telemetry/profile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace esteem::telemetry {
+
+void PhaseProfiler::add(const std::string& phase, double seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Bucket& b = phases_[phase];
+  b.seconds += seconds;
+  ++b.count;
+}
+
+std::vector<PhaseProfiler::Phase> PhaseProfiler::rollup() const {
+  std::vector<Phase> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(phases_.size());
+    for (const auto& [name, b] : phases_) out.push_back(Phase{name, b.seconds, b.count});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Phase& a, const Phase& b) { return a.name < b.name; });
+  return out;
+}
+
+double PhaseProfiler::seconds(const std::string& phase) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = phases_.find(phase);
+  return it == phases_.end() ? 0.0 : it->second.seconds;
+}
+
+void PhaseProfiler::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  phases_.clear();
+}
+
+std::string PhaseProfiler::to_json() const {
+  std::ostringstream os;
+  os << '[';
+  bool first = true;
+  char buf[32];
+  for (const Phase& p : rollup()) {
+    if (!first) os << ',';
+    first = false;
+    std::snprintf(buf, sizeof buf, "%.6f", p.seconds);
+    os << "{\"name\":\"" << p.name << "\",\"seconds\":" << buf
+       << ",\"count\":" << p.count << '}';
+  }
+  os << ']';
+  return os.str();
+}
+
+std::string PhaseProfiler::to_line() const {
+  std::ostringstream os;
+  bool first = true;
+  char buf[32];
+  for (const Phase& p : rollup()) {
+    if (!first) os << " | ";
+    first = false;
+    std::snprintf(buf, sizeof buf, "%.3f", p.seconds);
+    os << p.name << ' ' << buf << 's';
+    if (p.count > 1) os << " x" << p.count;
+  }
+  return os.str();
+}
+
+double ScopedTimer::stop() {
+  if (profiler_ == nullptr) return 0.0;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  profiler_->add(phase_, elapsed);
+  profiler_ = nullptr;
+  return elapsed;
+}
+
+}  // namespace esteem::telemetry

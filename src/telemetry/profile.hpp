@@ -1,0 +1,73 @@
+// Simulator self-profiling: named wall-time phases accumulated across the
+// process (`run.simulate`, `run.energy`, `bench.sweep`, ...). ScopedTimer
+// measures a lexical scope; the rollup lands in the esteem_bench JSON and in
+// the sweep summary printed by esteem_cli. Always on — the cost is two clock
+// reads plus one mutex-guarded map update per phase instance, which is
+// invisible at run granularity.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace esteem::telemetry {
+
+class PhaseProfiler {
+ public:
+  struct Phase {
+    std::string name;
+    double seconds = 0.0;
+    std::uint64_t count = 0;
+  };
+
+  /// Adds one finished phase instance.
+  void add(const std::string& phase, double seconds);
+
+  /// All phases sorted by name; empty when nothing was recorded.
+  std::vector<Phase> rollup() const;
+
+  /// Total seconds recorded under `phase` (0 when unknown).
+  double seconds(const std::string& phase) const;
+
+  void reset();
+
+  /// rollup() as a JSON array: [{"name":...,"seconds":...,"count":N},...].
+  std::string to_json() const;
+  /// rollup() as a one-line human summary: "a 1.23s x4 | b 0.01s".
+  std::string to_line() const;
+
+ private:
+  struct Bucket {
+    double seconds = 0.0;
+    std::uint64_t count = 0;
+  };
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Bucket> phases_;
+};
+
+/// RAII phase timer; records into the given profiler at destruction (or at
+/// an explicit stop()).
+class ScopedTimer {
+ public:
+  ScopedTimer(PhaseProfiler& profiler, std::string phase)
+      : profiler_(&profiler),
+        phase_(std::move(phase)),
+        start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { stop(); }
+
+  /// Records now instead of at scope exit; returns the elapsed seconds.
+  /// Subsequent calls are no-ops returning 0.
+  double stop();
+
+ private:
+  PhaseProfiler* profiler_;
+  std::string phase_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace esteem::telemetry

@@ -21,7 +21,14 @@
 // The JSON reports, per repeat: wall seconds, simulated Minstr/s (total
 // simulated instructions including warm-up across every run of the sweep,
 // divided by wall time), and the memo-cache hit/miss counters observed for
-// that repeat.
+// that repeat. A trailing "phases" array carries the self-profiling rollup
+// (telemetry::PhaseProfiler): bench.configure, sweep, run.simulate,
+// run.energy, ... with accumulated seconds and instance counts.
+//
+// Memo-cache state and counters are process-global; the bench scopes both to
+// this invocation (cache cleared, counters zeroed at entry), so repeated
+// benches in one process each report a genuinely cold repeat 0 and correct
+// hit rates.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -34,6 +41,7 @@
 #include "sim/run_cache.hpp"
 #include "sim/runner.hpp"
 #include "sim/task_pool.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/workloads.hpp"
 
 namespace {
@@ -99,6 +107,13 @@ int main(int argc, char** argv) {
   if (repeat == 0) usage("--repeat must be >= 1");
   if (warmup == 0) warmup = instr / 5;
 
+  // Scope the process-global memo cache and self-profiler to this
+  // invocation: entries or counters inherited from earlier work in the same
+  // process would make repeat 0 falsely warm and the hit rates wrong.
+  sim::RunCache::instance().clear();
+  telemetry::profiler().reset();
+  telemetry::ScopedTimer configure_timer(telemetry::profiler(), "bench.configure");
+
   sim::SweepSpec spec;
   if (workloads_arg == "single") {
     spec.workloads = trace::single_core_workloads();
@@ -143,6 +158,8 @@ int main(int argc, char** argv) {
                spec.workloads.size(), spec.techniques.size(),
                static_cast<unsigned long long>(instr),
                static_cast<unsigned long long>(warmup), threads, repeat);
+
+  configure_timer.stop();
 
   std::vector<RepeatSample> samples;
   for (unsigned r = 0; r < repeat; ++r) {
@@ -189,7 +206,7 @@ int main(int argc, char** argv) {
     json << ",\"simulated_minstr_per_s\":" << buf << ",\"memo_hits\":" << s.memo_hits
          << ",\"memo_misses\":" << s.memo_misses << '}';
   }
-  json << "]}";
+  json << "],\"phases\":" << telemetry::profiler().to_json() << '}';
 
   std::printf("%s\n", json.str().c_str());
   if (!json_path.empty()) {

@@ -25,8 +25,21 @@
 //     --compare                also run the baseline and print the paper's
 //                              comparison metrics (energy saving, WS, ...)
 //     --timeline FILE.csv      dump the per-interval reconfiguration timeline
+//     --telemetry-dir DIR      telemetry output directory: per-run interval
+//                              JSONL series plus a counters.json registry
+//                              dump land here
+//     --trace FILE.json        emit a Chrome trace_event timeline (open in
+//                              chrome://tracing or Perfetto): simulated-time
+//                              reconfiguration/refresh/fault lanes plus
+//                              wall-clock task-pool and memo-cache rows
+//     --interval-stats         record the per-interval counter time-series
+//                              (written as <label>.intervals.jsonl)
 //     --dump-config            print the effective configuration and exit
 //     --list-workloads         print all Table 1 benchmark names and exit
+//
+// Telemetry is off by default and observer-free: with none of the three
+// flags given, output (including sweep CSV) is byte-identical to a build
+// without the subsystem.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -39,8 +52,10 @@
 #include "common/table.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
+#include "sim/run_cache.hpp"
 #include "sim/runner.hpp"
 #include "sim/task_pool.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/spec_profiles.hpp"
 
 namespace {
@@ -55,6 +70,8 @@ using namespace esteem;
                "                  [--jobs N] [--csv FILE] [--config FILE]\n"
                "                  [--instr N] [--warmup N] [--seed N]\n"
                "                  [--compare] [--timeline FILE]\n"
+               "                  [--telemetry-dir DIR] [--trace FILE]\n"
+               "                  [--interval-stats]\n"
                "                  [--dump-config] [--list-workloads]\n");
   std::exit(2);
 }
@@ -138,8 +155,21 @@ int run_sweep_mode(const SystemConfig& cfg, const std::string& sweep_arg,
   std::printf("sweep: %zu workload(s) x %zu technique(s) + baseline, %u worker thread(s)\n",
               spec.workloads.size(), spec.techniques.size(),
               sim::TaskPool::resolve_threads(jobs));
+  const sim::RunCacheStats memo_before = sim::RunCache::instance().stats();
   const sim::SweepResult result = sim::run_sweep(spec);
+  const sim::RunCacheStats memo_after = sim::RunCache::instance().stats();
   std::printf("%s", sim::figure_report(result, "sweep").c_str());
+  // Parallelism header: the resolved worker count together with what the
+  // memo cache actually absorbed during this sweep.
+  std::printf("parallelism: %u worker thread(s), memo-cache %llu hit / %llu miss "
+              "(%llu disk hit)\n",
+              sim::TaskPool::resolve_threads(jobs),
+              static_cast<unsigned long long>(memo_after.hits - memo_before.hits),
+              static_cast<unsigned long long>(memo_after.misses - memo_before.misses),
+              static_cast<unsigned long long>(memo_after.disk_hits -
+                                              memo_before.disk_hits));
+  const std::string phases = telemetry::profiler().to_line();
+  if (!phases.empty()) std::printf("phases: %s\n", phases.c_str());
   if (!csv_path.empty()) {
     sim::write_csv(result, csv_path);
     std::printf("csv written to %s\n", csv_path.c_str());
@@ -157,6 +187,24 @@ int run_sweep_mode(const SystemConfig& cfg, const std::string& sweep_arg,
   return 0;
 }
 
+/// Writes pending telemetry artefacts (interval series were written per run;
+/// this adds the Chrome trace and counters.json) and reports their paths.
+void flush_telemetry() {
+  auto& tel = telemetry::Telemetry::instance();
+  if (!tel.active()) return;
+  for (const std::string& p : tel.drain_written()) {
+    std::printf("interval stats written to %s\n", p.c_str());
+  }
+  const auto fr = tel.flush();
+  if (!fr.trace_path.empty()) {
+    std::printf("trace written to %s (%zu events)\n", fr.trace_path.c_str(),
+                fr.trace_events);
+  }
+  if (!fr.counters_path.empty()) {
+    std::printf("counters written to %s\n", fr.counters_path.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -168,6 +216,9 @@ int main(int argc, char** argv) {
   std::string csv_path;
   std::string config_path;
   std::string timeline_path;
+  std::string telemetry_dir;
+  std::string trace_path;
+  bool interval_stats = false;
   instr_t instr = 4'000'000;
   instr_t warmup = 800'000;
   std::uint64_t seed = 42;
@@ -194,6 +245,9 @@ int main(int argc, char** argv) {
       jobs = static_cast<unsigned>(std::strtoul(value().c_str(), nullptr, 10));
     else if (arg == "--compare") compare = true;
     else if (arg == "--timeline") timeline_path = value();
+    else if (arg == "--telemetry-dir") telemetry_dir = value();
+    else if (arg == "--trace") trace_path = value();
+    else if (arg == "--interval-stats") interval_stats = true;
     else if (arg == "--dump-config") dump_config = true;
     else if (arg == "--list-workloads") {
       for (const auto& p : trace::all_profiles()) {
@@ -209,6 +263,14 @@ int main(int argc, char** argv) {
   }
 
   try {
+    {
+      telemetry::TelemetryConfig tc;
+      tc.interval_stats = interval_stats;
+      tc.dir = telemetry_dir;
+      tc.trace_path = trace_path;
+      if (tc.any()) telemetry::Telemetry::instance().configure(tc);
+    }
+
     SystemConfig cfg =
         config_path.empty() ? SystemConfig::single_core() : load_config_file(config_path);
 
@@ -233,8 +295,10 @@ int main(int argc, char** argv) {
         save_config(cfg, std::cout);
         return 0;
       }
-      return run_sweep_mode(cfg, sweep_arg, techniques_arg, csv_path, instr, warmup,
-                            seed, jobs);
+      const int code = run_sweep_mode(cfg, sweep_arg, techniques_arg, csv_path, instr,
+                                      warmup, seed, jobs);
+      flush_telemetry();
+      return code;
     }
 
     const std::vector<std::string> benchmarks = split_csv(workload);
@@ -308,6 +372,7 @@ int main(int argc, char** argv) {
       std::printf("  RPKI             : %8.1f -> %8.1f\n", c.rpki_base, c.rpki_tech);
       std::printf("  MPKI             : %8.3f -> %8.3f\n", c.mpki_base, c.mpki_tech);
     }
+    flush_telemetry();
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
