@@ -1,12 +1,11 @@
 // Shared helpers for the bench binaries that regenerate the paper's tables
 // and figures.
 //
-// The paper fast-forwards 10B instructions and measures 400M per benchmark
-// with 10M-cycle reconfiguration intervals. The bench harness scales the
-// measured instruction count down (default 8M per core, override with
-// ESTEEM_INSTR) and scales the interval proportionally so the run still
-// spans the same ~40-80 reconfiguration intervals. Every bench prints the
-// scale it used.
+// The scale policy (how the paper's 400M-instruction, 10M-cycle-interval
+// runs shrink to bench size) lives in src/validation/scale.hpp, shared with
+// tools/esteem_validate so the fidelity gate scores exactly the runs the
+// benches print. These wrappers keep the historical instruction-count-based
+// bench API on top of it.
 #pragma once
 
 #include <cstdio>
@@ -15,87 +14,62 @@
 #include "common/config.hpp"
 #include "common/env.hpp"
 #include "common/types.hpp"
-#include "sim/task_pool.hpp"
+#include "validation/scale.hpp"
 
 namespace esteem::bench {
 
-inline constexpr instr_t kPaperInstrPerCore = 400'000'000;
-inline constexpr double kPaperIntervalCycles = 10'000'000.0;
+inline constexpr instr_t kPaperInstrPerCore = validation::kPaperInstrPerCore;
+inline constexpr double kPaperIntervalCycles = validation::kPaperIntervalCycles;
 
 /// Per-core instruction budget for bench runs (ESTEEM_INSTR).
-inline instr_t instr_per_core() {
-  return env_u64("ESTEEM_INSTR", 8'000'000);
-}
+inline instr_t instr_per_core() { return validation::bench_scale().instr_per_core; }
 
 /// Warm-up instructions per core before measurement (ESTEEM_WARMUP;
 /// default: a fifth of the measured budget). The paper fast-forwards 10B
 /// instructions before its 400M-instruction measurement.
 inline instr_t warmup_instr_per_core() {
-  return env_u64("ESTEEM_WARMUP", instr_per_core() / 5);
+  return validation::bench_scale().warmup_per_core;
 }
 
 /// Worker threads for sweeps (ESTEEM_THREADS; 0 = hardware concurrency).
-inline unsigned threads() {
-  return static_cast<unsigned>(env_u64("ESTEEM_THREADS", 0));
-}
+inline unsigned threads() { return validation::bench_scale().threads; }
 
-inline std::uint64_t seed() { return env_u64("ESTEEM_SEED", 42); }
+inline std::uint64_t seed() { return validation::bench_scale().seed; }
 
 /// Scales the reconfiguration interval with the instruction budget.
 /// `interval_factor` expresses Table 3's 5M/15M rows as 0.5x/1.5x of the
-/// 10M-cycle default. ESTEEM_INTERVAL_FACTOR (default 10) additionally
-/// lengthens the scaled interval: our synthetic workloads run at lower IPC
-/// than the paper's, so without it each interval would hold too few
-/// instructions for the leader sets to collect meaningful histograms. The
-/// result is floored at one retention period so refresh accounting stays
-/// sane.
+/// 10M-cycle default; ESTEEM_INTERVAL_FACTOR additionally lengthens the
+/// scaled interval (see validation/scale.hpp).
 inline cycle_t scaled_interval(const SystemConfig& cfg, instr_t instr,
                                double interval_factor = 1.0) {
-  const double env_factor =
-      static_cast<double>(env_u64("ESTEEM_INTERVAL_FACTOR", 4));
-  const double scale = static_cast<double>(instr) / kPaperInstrPerCore;
-  const auto cycles = static_cast<cycle_t>(kPaperIntervalCycles * scale *
-                                           env_factor * interval_factor);
-  return std::max<cycle_t>(cycles, cfg.retention_cycles());
+  return validation::scaled_interval(
+      cfg, instr, validation::bench_scale().interval_env_factor, interval_factor);
 }
 
-/// Reconfiguration-churn damping used by the bench configurations. At the
-/// paper's 10M-cycle intervals a one-way flush is amortized over ~10M
-/// instructions; at our scaled intervals the same churn is 50x more
-/// expensive, so the benches enable the paper's proposed hysteresis
-/// extension (§7.2 future work) with a 2-interval window.
-inline constexpr std::uint32_t kBenchHysteresis = 2;
-inline constexpr std::uint32_t kBenchShrinkConfirm = 2;
+/// Reconfiguration-churn damping used by the bench configurations (the
+/// paper's proposed hysteresis extension, §7.2 — see validation/scale.hpp).
+inline constexpr std::uint32_t kBenchHysteresis = validation::kScaledHysteresis;
+inline constexpr std::uint32_t kBenchShrinkConfirm =
+    validation::kScaledShrinkConfirm;
 
 /// Paper single-core configuration with the bench-scaled interval.
 inline SystemConfig scaled_single(instr_t instr, double interval_factor = 1.0) {
-  SystemConfig cfg = SystemConfig::single_core();
-  cfg.esteem.interval_cycles = scaled_interval(cfg, instr, interval_factor);
-  cfg.esteem.hysteresis_intervals = kBenchHysteresis;
-  cfg.esteem.shrink_confirm_intervals = kBenchShrinkConfirm;
-  return cfg;
+  validation::ScaleSpec scale = validation::bench_scale();
+  scale.instr_per_core = instr;
+  return validation::scaled_single(scale, interval_factor);
 }
 
 /// Paper dual-core configuration with the bench-scaled interval.
 inline SystemConfig scaled_dual(instr_t instr, double interval_factor = 1.0) {
-  SystemConfig cfg = SystemConfig::dual_core();
-  cfg.esteem.interval_cycles = scaled_interval(cfg, instr, interval_factor);
-  cfg.esteem.hysteresis_intervals = kBenchHysteresis;
-  cfg.esteem.shrink_confirm_intervals = kBenchShrinkConfirm;
-  return cfg;
+  validation::ScaleSpec scale = validation::bench_scale();
+  scale.instr_per_core = instr;
+  return validation::scaled_dual(scale, interval_factor);
 }
 
-inline void print_scale_banner(const char* what, const SystemConfig& cfg, instr_t instr) {
-  std::printf(
-      "%s\n  scale: %llu instructions/core (paper: 400M), interval %llu cycles "
-      "(paper: 10M), retention %.0f us, %u-core, L2 %.0f MB %u-way, %u modules, "
-      "%u sweep worker thread(s)\n\n",
-      what, static_cast<unsigned long long>(instr),
-      static_cast<unsigned long long>(cfg.esteem.interval_cycles),
-      cfg.edram.retention_us, cfg.ncores,
-      static_cast<double>(cfg.l2.geom.size_bytes) / (1024.0 * 1024.0),
-      cfg.l2.geom.ways, cfg.esteem.modules,
-      sim::TaskPool::resolve_threads(threads()));
+inline void print_scale_banner(const char* what, const SystemConfig& cfg,
+                               instr_t instr) {
+  std::fputs(validation::scale_banner(what, cfg, instr, threads()).c_str(),
+             stdout);
 }
 
 }  // namespace esteem::bench

@@ -1,13 +1,4 @@
 // Figure 3: single-core results at 50 us retention, all 34 workloads.
 #include "bench_figures.hpp"
-#include "trace/workloads.hpp"
 
-int main() {
-  using namespace esteem;
-  // Paper §7.2: ESTEEM 25.82% / RPV 15.93% energy saving; WS 1.09 / 1.06;
-  // RPKI decrease 467 / 161.
-  const bench::PaperAverages paper{25.82, 15.93, 1.09, 1.06, 467.0, 161.0};
-  return bench::run_figure("Figure 3: single-core, 50us retention",
-                           bench::scaled_single(bench::instr_per_core()),
-                           trace::single_core_workloads(), paper);
-}
+int main() { return esteem::validation::figure_bench_main("fig3"); }

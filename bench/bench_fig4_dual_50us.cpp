@@ -1,13 +1,4 @@
 // Figure 4: dual-core results at 50 us retention, all 17 Table 1 pairs.
 #include "bench_figures.hpp"
-#include "trace/workloads.hpp"
 
-int main() {
-  using namespace esteem;
-  // Paper §7.2: ESTEEM 32.63% / RPV 14.3% energy saving; WS 1.22 / 1.09;
-  // RPKI decrease 511 / 134.
-  const bench::PaperAverages paper{32.63, 14.3, 1.22, 1.09, 511.0, 134.0};
-  return bench::run_figure("Figure 4: dual-core, 50us retention",
-                           bench::scaled_dual(bench::instr_per_core()),
-                           trace::dual_core_workloads(), paper);
-}
+int main() { return esteem::validation::figure_bench_main("fig4"); }

@@ -1,17 +1,4 @@
 // Figure 5: single-core results at the reduced 40 us retention (§7.3).
 #include "bench_figures.hpp"
-#include "trace/workloads.hpp"
 
-int main() {
-  using namespace esteem;
-  SystemConfig cfg = bench::scaled_single(bench::instr_per_core());
-  cfg.edram.retention_us = 40.0;
-  cfg.esteem.interval_cycles =
-      bench::scaled_interval(cfg, bench::instr_per_core());
-  // §7.3 reports no new averages, only that both techniques improve further;
-  // the paper's 50 us averages are shown for reference.
-  const bench::PaperAverages paper{25.82, 15.93, 1.09, 1.06, 467.0, 161.0};
-  return bench::run_figure(
-      "Figure 5: single-core, 40us retention (expect larger gains than Fig 3)",
-      cfg, trace::single_core_workloads(), paper);
-}
+int main() { return esteem::validation::figure_bench_main("fig5"); }

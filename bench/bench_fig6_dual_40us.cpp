@@ -1,15 +1,4 @@
 // Figure 6: dual-core results at the reduced 40 us retention (§7.3).
 #include "bench_figures.hpp"
-#include "trace/workloads.hpp"
 
-int main() {
-  using namespace esteem;
-  SystemConfig cfg = bench::scaled_dual(bench::instr_per_core());
-  cfg.edram.retention_us = 40.0;
-  cfg.esteem.interval_cycles =
-      bench::scaled_interval(cfg, bench::instr_per_core());
-  const bench::PaperAverages paper{32.63, 14.3, 1.22, 1.09, 511.0, 134.0};
-  return bench::run_figure(
-      "Figure 6: dual-core, 40us retention (expect larger gains than Fig 4)",
-      cfg, trace::dual_core_workloads(), paper);
-}
+int main() { return esteem::validation::figure_bench_main("fig6"); }

@@ -1,69 +1,8 @@
-// Shared driver for the Figure 3-6 benches: sweep all workloads with ESTEEM
-// and Refrint RPV against the periodic-all baseline and print the paper-style
-// per-workload report plus a summary vs. the paper's reported averages.
+// The Figure 3-6 benches are thin mains over the validation library: the
+// figure matrix (workloads, configs, paper averages, titles) lives in
+// src/validation/figures.hpp, shared with tools/esteem_validate and the
+// RESULTS.md renderer, so a bench binary and the fidelity gate can never
+// disagree about what a figure runs.
 #pragma once
 
-#include <cstdio>
-#include <string>
-#include <vector>
-
-#include "bench_common.hpp"
-#include "common/table.hpp"
-#include "sim/report.hpp"
-#include "sim/runner.hpp"
-
-namespace esteem::bench {
-
-struct PaperAverages {
-  double esteem_energy_pct;
-  double rpv_energy_pct;
-  double esteem_ws;
-  double rpv_ws;
-  double esteem_rpki_dec;
-  double rpv_rpki_dec;
-};
-
-inline int run_figure(const std::string& title, SystemConfig cfg,
-                      std::vector<trace::Workload> workloads,
-                      const PaperAverages& paper) {
-  const instr_t instr = instr_per_core();
-  print_scale_banner(title.c_str(), cfg, instr);
-
-  sim::SweepSpec spec;
-  spec.config = cfg;
-  spec.workloads = std::move(workloads);
-  spec.techniques = {sim::Technique::Esteem, sim::Technique::RefrintRPV};
-  spec.instr_per_core = instr;
-  spec.warmup_instr_per_core = warmup_instr_per_core();
-  spec.seed = seed();
-  spec.threads = threads();
-
-  const sim::SweepResult result = sim::run_sweep(spec);
-  std::printf("%s\n", sim::figure_report(result, title).c_str());
-
-  const sim::TechniqueComparison est = result.summary(sim::Technique::Esteem);
-  const sim::TechniqueComparison rpv = result.summary(sim::Technique::RefrintRPV);
-
-  TextTable summary;
-  summary.set_header({"average metric", "paper", "measured"});
-  summary.add_row({"ESTEEM energy saving %", fmt(paper.esteem_energy_pct, 2),
-                   fmt(est.energy_saving_pct, 2)});
-  summary.add_row({"RPV energy saving %", fmt(paper.rpv_energy_pct, 2),
-                   fmt(rpv.energy_saving_pct, 2)});
-  summary.add_row({"ESTEEM weighted speedup", fmt(paper.esteem_ws, 2),
-                   fmt(est.weighted_speedup, 3)});
-  summary.add_row({"RPV weighted speedup", fmt(paper.rpv_ws, 2),
-                   fmt(rpv.weighted_speedup, 3)});
-  summary.add_row({"ESTEEM RPKI decrease", fmt(paper.esteem_rpki_dec, 1),
-                   fmt(est.rpki_decrease, 1)});
-  summary.add_row({"RPV RPKI decrease", fmt(paper.rpv_rpki_dec, 1),
-                   fmt(rpv.rpki_decrease, 1)});
-  summary.add_row({"ESTEEM MPKI increase", "-", fmt(est.mpki_increase, 3)});
-  summary.add_row({"ESTEEM active ratio %", "-", fmt(est.active_ratio_pct, 1)});
-
-  std::printf("Summary vs. paper-reported averages (shape, not absolutes):\n%s\n",
-              summary.to_string().c_str());
-  return 0;
-}
-
-}  // namespace esteem::bench
+#include "validation/figures.hpp"

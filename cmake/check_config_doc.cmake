@@ -1,0 +1,18 @@
+# Asserts that the committed docs/CONFIG.md matches what `esteem_cli
+# --dump-config-doc` emits from the live config schema. Invoked by the
+# config_doc_up_to_date ctest with -DCLI=<binary> -DDOC=<file>.
+execute_process(COMMAND ${CLI} --dump-config-doc
+                OUTPUT_VARIABLE generated
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${CLI} --dump-config-doc failed (exit ${rc})")
+endif()
+if(NOT EXISTS ${DOC})
+  message(FATAL_ERROR "${DOC} is missing; regenerate with: "
+                      "${CLI} --dump-config-doc > docs/CONFIG.md")
+endif()
+file(READ ${DOC} committed)
+if(NOT generated STREQUAL committed)
+  message(FATAL_ERROR "docs/CONFIG.md is stale: the config schema changed. "
+                      "Regenerate with: ${CLI} --dump-config-doc > docs/CONFIG.md")
+endif()

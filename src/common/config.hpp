@@ -71,6 +71,20 @@ struct MemoryConfig {
   double bandwidth_gbps = 10.0;
 };
 
+/// Multiplicative calibration scales applied on top of the Table 2 energy
+/// values (all 1.0 = paper-exact). Primarily a calibration/what-if surface:
+/// the validation layer perturbs these to prove the golden-drift gate
+/// notices energy-model changes (see DESIGN.md §9), and they allow matching
+/// a different technology point without editing the CACTI table.
+struct EnergyScaleConfig {
+  /// Scales the per-line refresh energy (RE_L2, Eq. 6).
+  double refresh_scale = 1.0;
+  /// Scales the dynamic access energy (DE_L2, Eq. 5).
+  double dyn_scale = 1.0;
+  /// Scales the L2 leakage power (LE_L2, Eq. 4).
+  double leak_scale = 1.0;
+};
+
 /// Retention-fault injection (off by default). When enabled, a deterministic
 /// per-line weak-cell map is sampled from the lognormal cell-retention
 /// distribution and real decay events are threaded through the cache: lines
@@ -147,6 +161,7 @@ struct SystemConfig {
   L2Config l2;
   MemoryConfig mem;
   EdramConfig edram;
+  EnergyScaleConfig energy;
   EsteemParams esteem;
   FaultConfig faults;
 

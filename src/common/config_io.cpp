@@ -1,7 +1,6 @@
 #include "common/config_io.hpp"
 
 #include <fstream>
-#include <functional>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -37,135 +36,233 @@ bool parse_bool(const std::string& v, const std::string& key) {
   throw std::invalid_argument("config: bad boolean for " + key);
 }
 
-using Setter = std::function<void(SystemConfig&, const std::string&, const std::string&)>;
+std::string show(double v) {
+  std::ostringstream os;
+  os << v;  // default stream formatting, matching the historical save format
+  return os.str();
+}
 
-const std::map<std::string, Setter>& setters() {
-  static const std::map<std::string, Setter> kSetters = {
-      {"system.ncores", [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.ncores = static_cast<std::uint32_t>(parse_u64(v, k));
-       }},
-      {"system.freq_ghz", [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.freq_ghz = parse_double(v, k);
-       }},
-      {"l1.size_kb", [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.l1.geom.size_bytes = parse_u64(v, k) * 1024;
-       }},
-      {"l1.ways", [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.l1.geom.ways = static_cast<std::uint32_t>(parse_u64(v, k));
-       }},
-      {"l1.latency", [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.l1.latency_cycles = static_cast<std::uint32_t>(parse_u64(v, k));
-       }},
-      {"l2.size_kb", [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.l2.geom.size_bytes = parse_u64(v, k) * 1024;
-       }},
-      {"l2.ways", [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.l2.geom.ways = static_cast<std::uint32_t>(parse_u64(v, k));
-       }},
-      {"l2.line_bytes", [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.l2.geom.line_bytes = static_cast<std::uint32_t>(parse_u64(v, k));
-         c.l1.geom.line_bytes = c.l2.geom.line_bytes;
-       }},
-      {"l2.latency", [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.l2.latency_cycles = static_cast<std::uint32_t>(parse_u64(v, k));
-       }},
-      {"l2.banks", [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.l2.banks = static_cast<std::uint32_t>(parse_u64(v, k));
-       }},
-      {"l2.access_occupancy", [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.l2.access_occupancy_cycles = static_cast<std::uint32_t>(parse_u64(v, k));
-       }},
-      {"l2.refresh_occupancy", [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.l2.refresh_occupancy_cycles = parse_double(v, k);
-       }},
-      {"l2.queue_pressure", [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.l2.queue_pressure = parse_double(v, k);
-       }},
-      {"edram.retention_us", [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.edram.retention_us = parse_double(v, k);
-       }},
-      {"edram.rpv_phases", [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.edram.rpv_phases = static_cast<std::uint32_t>(parse_u64(v, k));
-       }},
-      {"edram.ecc_correctable", [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.edram.ecc_correctable = static_cast<std::uint32_t>(parse_u64(v, k));
-       }},
-      {"edram.ecc_target_line_failure",
-       [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.edram.ecc_target_line_failure = parse_double(v, k);
-       }},
-      {"mem.latency", [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.mem.latency_cycles = static_cast<std::uint32_t>(parse_u64(v, k));
-       }},
-      {"mem.bandwidth_gbps", [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.mem.bandwidth_gbps = parse_double(v, k);
-       }},
-      {"esteem.alpha", [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.esteem.alpha = parse_double(v, k);
-       }},
-      {"esteem.a_min", [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.esteem.a_min = static_cast<std::uint32_t>(parse_u64(v, k));
-       }},
-      {"esteem.modules", [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.esteem.modules = static_cast<std::uint32_t>(parse_u64(v, k));
-       }},
-      {"esteem.interval_cycles", [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.esteem.interval_cycles = parse_u64(v, k);
-       }},
-      {"esteem.sampling_ratio", [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.esteem.sampling_ratio = static_cast<std::uint32_t>(parse_u64(v, k));
-       }},
-      {"esteem.nonlru_guard", [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.esteem.nonlru_guard = parse_bool(v, k);
-       }},
-      {"esteem.min_leader_samples",
-       [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.esteem.min_leader_samples = parse_u64(v, k);
-       }},
-      {"esteem.history_weight", [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.esteem.history_weight = parse_double(v, k);
-       }},
-      {"esteem.max_way_delta", [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.esteem.max_way_delta = static_cast<std::uint32_t>(parse_u64(v, k));
-       }},
-      {"esteem.hysteresis_intervals",
-       [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.esteem.hysteresis_intervals = static_cast<std::uint32_t>(parse_u64(v, k));
-       }},
-      {"esteem.shrink_confirm_intervals",
-       [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.esteem.shrink_confirm_intervals = static_cast<std::uint32_t>(parse_u64(v, k));
-       }},
-      {"faults.enabled", [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.faults.enabled = parse_bool(v, k);
-       }},
-      {"faults.seed", [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.faults.seed = parse_u64(v, k);
-       }},
-      {"faults.median_multiple",
-       [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.faults.median_multiple = parse_double(v, k);
-       }},
-      {"faults.sigma", [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.faults.sigma = parse_double(v, k);
-       }},
-      {"faults.correction_latency",
-       [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.faults.correction_latency_cycles = static_cast<std::uint32_t>(parse_u64(v, k));
-       }},
-      {"faults.disable_threshold",
-       [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.faults.disable_threshold = static_cast<std::uint32_t>(parse_u64(v, k));
-       }},
-      {"faults.max_tracked_extension",
-       [](SystemConfig& c, const std::string& v, const std::string& k) {
-         c.faults.max_tracked_extension = static_cast<std::uint32_t>(parse_u64(v, k));
-       }},
+std::string show(std::uint64_t v) { return std::to_string(v); }
+std::string show(bool v) { return v ? "true" : "false"; }
+
+/// Schema-entry builders: each pairs a parse-and-assign setter with the
+/// matching serializer so load/save/doc stay in lockstep per key.
+ConfigKeySpec int_key(std::string section, std::string key, std::string doc,
+                      std::function<void(SystemConfig&, std::uint64_t)> set,
+                      std::function<std::uint64_t(const SystemConfig&)> get) {
+  ConfigKeySpec spec;
+  spec.section = std::move(section);
+  spec.key = std::move(key);
+  spec.type = "int";
+  spec.doc = std::move(doc);
+  spec.set = [set](SystemConfig& c, const std::string& v, const std::string& k) {
+    set(c, parse_u64(v, k));
   };
-  return kSetters;
+  spec.get = [get](const SystemConfig& c) { return show(get(c)); };
+  return spec;
+}
+
+ConfigKeySpec float_key(std::string section, std::string key, std::string doc,
+                        std::function<void(SystemConfig&, double)> set,
+                        std::function<double(const SystemConfig&)> get) {
+  ConfigKeySpec spec;
+  spec.section = std::move(section);
+  spec.key = std::move(key);
+  spec.type = "float";
+  spec.doc = std::move(doc);
+  spec.set = [set](SystemConfig& c, const std::string& v, const std::string& k) {
+    set(c, parse_double(v, k));
+  };
+  spec.get = [get](const SystemConfig& c) { return show(get(c)); };
+  return spec;
+}
+
+ConfigKeySpec bool_key(std::string section, std::string key, std::string doc,
+                       std::function<void(SystemConfig&, bool)> set,
+                       std::function<bool(const SystemConfig&)> get) {
+  ConfigKeySpec spec;
+  spec.section = std::move(section);
+  spec.key = std::move(key);
+  spec.type = "bool";
+  spec.doc = std::move(doc);
+  spec.set = [set](SystemConfig& c, const std::string& v, const std::string& k) {
+    set(c, parse_bool(v, k));
+  };
+  spec.get = [get](const SystemConfig& c) { return show(get(c)); };
+  return spec;
+}
+
+std::vector<ConfigKeySpec> build_schema() {
+  std::vector<ConfigKeySpec> s;
+  s.push_back(int_key("system", "ncores", "Number of cores (1 or 2 in the paper)",
+                      [](SystemConfig& c, std::uint64_t v) { c.ncores = static_cast<std::uint32_t>(v); },
+                      [](const SystemConfig& c) -> std::uint64_t { return c.ncores; }));
+  s.push_back(float_key("system", "freq_ghz", "Core clock frequency in GHz",
+                        [](SystemConfig& c, double v) { c.freq_ghz = v; },
+                        [](const SystemConfig& c) { return c.freq_ghz; }));
+
+  s.push_back(int_key("l1", "size_kb", "Private L1 size per core in KB",
+                      [](SystemConfig& c, std::uint64_t v) { c.l1.geom.size_bytes = v * 1024; },
+                      [](const SystemConfig& c) { return c.l1.geom.size_bytes / 1024; }));
+  s.push_back(int_key("l1", "ways", "L1 associativity",
+                      [](SystemConfig& c, std::uint64_t v) { c.l1.geom.ways = static_cast<std::uint32_t>(v); },
+                      [](const SystemConfig& c) -> std::uint64_t { return c.l1.geom.ways; }));
+  s.push_back(int_key("l1", "latency", "L1 hit latency in cycles",
+                      [](SystemConfig& c, std::uint64_t v) { c.l1.latency_cycles = static_cast<std::uint32_t>(v); },
+                      [](const SystemConfig& c) -> std::uint64_t { return c.l1.latency_cycles; }));
+
+  s.push_back(int_key("l2", "size_kb", "Shared eDRAM L2 size in KB",
+                      [](SystemConfig& c, std::uint64_t v) { c.l2.geom.size_bytes = v * 1024; },
+                      [](const SystemConfig& c) { return c.l2.geom.size_bytes / 1024; }));
+  s.push_back(int_key("l2", "ways", "L2 associativity",
+                      [](SystemConfig& c, std::uint64_t v) { c.l2.geom.ways = static_cast<std::uint32_t>(v); },
+                      [](const SystemConfig& c) -> std::uint64_t { return c.l2.geom.ways; }));
+  s.push_back(int_key("l2", "line_bytes", "Cache line size in bytes (applies to L1 and L2)",
+                      [](SystemConfig& c, std::uint64_t v) {
+                        c.l2.geom.line_bytes = static_cast<std::uint32_t>(v);
+                        c.l1.geom.line_bytes = c.l2.geom.line_bytes;
+                      },
+                      [](const SystemConfig& c) -> std::uint64_t { return c.l2.geom.line_bytes; }));
+  s.push_back(int_key("l2", "latency", "L2 hit latency in cycles",
+                      [](SystemConfig& c, std::uint64_t v) { c.l2.latency_cycles = static_cast<std::uint32_t>(v); },
+                      [](const SystemConfig& c) -> std::uint64_t { return c.l2.latency_cycles; }));
+  s.push_back(int_key("l2", "banks", "Number of L2 banks (power of two)",
+                      [](SystemConfig& c, std::uint64_t v) { c.l2.banks = static_cast<std::uint32_t>(v); },
+                      [](const SystemConfig& c) -> std::uint64_t { return c.l2.banks; }));
+  s.push_back(int_key("l2", "access_occupancy", "Cycles a demand access occupies its bank",
+                      [](SystemConfig& c, std::uint64_t v) { c.l2.access_occupancy_cycles = static_cast<std::uint32_t>(v); },
+                      [](const SystemConfig& c) -> std::uint64_t { return c.l2.access_occupancy_cycles; }));
+  s.push_back(float_key("l2", "refresh_occupancy",
+                        "Effective bank-interference cycles per refreshed line (calibration knob)",
+                        [](SystemConfig& c, double v) { c.l2.refresh_occupancy_cycles = v; },
+                        [](const SystemConfig& c) { return c.l2.refresh_occupancy_cycles; }));
+  s.push_back(float_key("l2", "queue_pressure",
+                        "Scale of the analytic bank queueing-delay term (0 disables)",
+                        [](SystemConfig& c, double v) { c.l2.queue_pressure = v; },
+                        [](const SystemConfig& c) { return c.l2.queue_pressure; }));
+
+  s.push_back(float_key("edram", "retention_us",
+                        "eDRAM retention period in microseconds (50 default, 40 in par. 7.3)",
+                        [](SystemConfig& c, double v) { c.edram.retention_us = v; },
+                        [](const SystemConfig& c) { return c.edram.retention_us; }));
+  s.push_back(int_key("edram", "rpv_phases", "Refrint polyphase count (paper evaluates 4)",
+                      [](SystemConfig& c, std::uint64_t v) { c.edram.rpv_phases = static_cast<std::uint32_t>(v); },
+                      [](const SystemConfig& c) -> std::uint64_t { return c.edram.rpv_phases; }));
+  s.push_back(int_key("edram", "ecc_correctable",
+                      "Correctable bits per line for the ecc-extended technique",
+                      [](SystemConfig& c, std::uint64_t v) { c.edram.ecc_correctable = static_cast<std::uint32_t>(v); },
+                      [](const SystemConfig& c) -> std::uint64_t { return c.edram.ecc_correctable; }));
+  s.push_back(float_key("edram", "ecc_target_line_failure",
+                        "Residual per-line failure-probability budget for ECC interval extension",
+                        [](SystemConfig& c, double v) { c.edram.ecc_target_line_failure = v; },
+                        [](const SystemConfig& c) { return c.edram.ecc_target_line_failure; }));
+
+  s.push_back(int_key("mem", "latency", "Main-memory latency in cycles",
+                      [](SystemConfig& c, std::uint64_t v) { c.mem.latency_cycles = static_cast<std::uint32_t>(v); },
+                      [](const SystemConfig& c) -> std::uint64_t { return c.mem.latency_cycles; }));
+  s.push_back(float_key("mem", "bandwidth_gbps", "Main-memory bandwidth in GB/s",
+                        [](SystemConfig& c, double v) { c.mem.bandwidth_gbps = v; },
+                        [](const SystemConfig& c) { return c.mem.bandwidth_gbps; }));
+
+  s.push_back(float_key("energy", "refresh_scale",
+                        "Multiplier on per-line refresh energy (1 = Table 2 values)",
+                        [](SystemConfig& c, double v) { c.energy.refresh_scale = v; },
+                        [](const SystemConfig& c) { return c.energy.refresh_scale; }));
+  s.push_back(float_key("energy", "dyn_scale",
+                        "Multiplier on dynamic L2 access energy (1 = Table 2 values)",
+                        [](SystemConfig& c, double v) { c.energy.dyn_scale = v; },
+                        [](const SystemConfig& c) { return c.energy.dyn_scale; }));
+  s.push_back(float_key("energy", "leak_scale",
+                        "Multiplier on L2 leakage power (1 = Table 2 values)",
+                        [](SystemConfig& c, double v) { c.energy.leak_scale = v; },
+                        [](const SystemConfig& c) { return c.energy.leak_scale; }));
+
+  s.push_back(float_key("esteem", "alpha", "Hit-coverage threshold of Algorithm 1",
+                        [](SystemConfig& c, double v) { c.esteem.alpha = v; },
+                        [](const SystemConfig& c) { return c.esteem.alpha; }));
+  s.push_back(int_key("esteem", "a_min", "Minimum number of active ways per module",
+                      [](SystemConfig& c, std::uint64_t v) { c.esteem.a_min = static_cast<std::uint32_t>(v); },
+                      [](const SystemConfig& c) -> std::uint64_t { return c.esteem.a_min; }));
+  s.push_back(int_key("esteem", "modules", "Number of logical set modules M",
+                      [](SystemConfig& c, std::uint64_t v) { c.esteem.modules = static_cast<std::uint32_t>(v); },
+                      [](const SystemConfig& c) -> std::uint64_t { return c.esteem.modules; }));
+  s.push_back(int_key("esteem", "interval_cycles", "Reconfiguration interval in cycles",
+                      [](SystemConfig& c, std::uint64_t v) { c.esteem.interval_cycles = v; },
+                      [](const SystemConfig& c) { return c.esteem.interval_cycles; }));
+  s.push_back(int_key("esteem", "sampling_ratio",
+                      "Set-sampling ratio R_s (one leader set per R_s sets)",
+                      [](SystemConfig& c, std::uint64_t v) { c.esteem.sampling_ratio = static_cast<std::uint32_t>(v); },
+                      [](const SystemConfig& c) -> std::uint64_t { return c.esteem.sampling_ratio; }));
+  s.push_back(bool_key("esteem", "nonlru_guard",
+                       "Limit turn-off to one way for modules with non-LRU hit patterns",
+                       [](SystemConfig& c, bool v) { c.esteem.nonlru_guard = v; },
+                       [](const SystemConfig& c) { return c.esteem.nonlru_guard; }));
+  s.push_back(int_key("esteem", "min_leader_samples",
+                      "Keep current configuration below this many leader-set samples (0 = off)",
+                      [](SystemConfig& c, std::uint64_t v) { c.esteem.min_leader_samples = v; },
+                      [](const SystemConfig& c) { return c.esteem.min_leader_samples; }));
+  s.push_back(float_key("esteem", "history_weight",
+                        "Exponential histogram smoothing across intervals (0 = paper-exact)",
+                        [](SystemConfig& c, double v) { c.esteem.history_weight = v; },
+                        [](const SystemConfig& c) { return c.esteem.history_weight; }));
+  s.push_back(int_key("esteem", "max_way_delta",
+                      "Cap on |delta active ways| per module per interval (0 = off)",
+                      [](SystemConfig& c, std::uint64_t v) { c.esteem.max_way_delta = static_cast<std::uint32_t>(v); },
+                      [](const SystemConfig& c) -> std::uint64_t { return c.esteem.max_way_delta; }));
+  s.push_back(int_key("esteem", "hysteresis_intervals",
+                      "Suppress direction reversals within this many intervals (0 = off)",
+                      [](SystemConfig& c, std::uint64_t v) { c.esteem.hysteresis_intervals = static_cast<std::uint32_t>(v); },
+                      [](const SystemConfig& c) -> std::uint64_t { return c.esteem.hysteresis_intervals; }));
+  s.push_back(int_key("esteem", "shrink_confirm_intervals",
+                      "Apply shrinks only after this many consecutive shrink requests (0/1 = immediate)",
+                      [](SystemConfig& c, std::uint64_t v) { c.esteem.shrink_confirm_intervals = static_cast<std::uint32_t>(v); },
+                      [](const SystemConfig& c) -> std::uint64_t { return c.esteem.shrink_confirm_intervals; }));
+
+  s.push_back(bool_key("faults", "enabled", "Enable retention-fault injection",
+                       [](SystemConfig& c, bool v) { c.faults.enabled = v; },
+                       [](const SystemConfig& c) { return c.faults.enabled; }));
+  s.push_back(int_key("faults", "seed", "Seed of the deterministic weak-cell map",
+                      [](SystemConfig& c, std::uint64_t v) { c.faults.seed = v; },
+                      [](const SystemConfig& c) { return c.faults.seed; }));
+  s.push_back(float_key("faults", "median_multiple",
+                        "Median cell retention as a multiple of the nominal period",
+                        [](SystemConfig& c, double v) { c.faults.median_multiple = v; },
+                        [](const SystemConfig& c) { return c.faults.median_multiple; }));
+  s.push_back(float_key("faults", "sigma", "Sigma of ln(cell retention)",
+                        [](SystemConfig& c, double v) { c.faults.sigma = v; },
+                        [](const SystemConfig& c) { return c.faults.sigma; }));
+  s.push_back(int_key("faults", "correction_latency",
+                      "Extra hit cycles when a line holds ECC-corrected bits",
+                      [](SystemConfig& c, std::uint64_t v) { c.faults.correction_latency_cycles = static_cast<std::uint32_t>(v); },
+                      [](const SystemConfig& c) -> std::uint64_t { return c.faults.correction_latency_cycles; }));
+  s.push_back(int_key("faults", "disable_threshold",
+                      "Uncorrectable events on a line before it is disabled",
+                      [](SystemConfig& c, std::uint64_t v) { c.faults.disable_threshold = static_cast<std::uint32_t>(v); },
+                      [](const SystemConfig& c) -> std::uint64_t { return c.faults.disable_threshold; }));
+  s.push_back(int_key("faults", "max_tracked_extension",
+                      "Largest refresh-interval extension the weak-cell map resolves",
+                      [](SystemConfig& c, std::uint64_t v) { c.faults.max_tracked_extension = static_cast<std::uint32_t>(v); },
+                      [](const SystemConfig& c) -> std::uint64_t { return c.faults.max_tracked_extension; }));
+  return s;
+}
+
+const std::map<std::string, const ConfigKeySpec*>& schema_index() {
+  static const std::map<std::string, const ConfigKeySpec*> kIndex = [] {
+    std::map<std::string, const ConfigKeySpec*> idx;
+    for (const ConfigKeySpec& spec : config_schema()) {
+      idx.emplace(spec.section + "." + spec.key, &spec);
+    }
+    return idx;
+  }();
+  return kIndex;
 }
 
 }  // namespace
+
+const std::vector<ConfigKeySpec>& config_schema() {
+  static const std::vector<ConfigKeySpec> kSchema = build_schema();
+  return kSchema;
+}
 
 SystemConfig load_config(std::istream& in) {
   SystemConfig cfg;
@@ -191,12 +288,12 @@ SystemConfig load_config(std::istream& in) {
     }
     const std::string key = section + "." + trim(t.substr(0, eq));
     const std::string value = trim(t.substr(eq + 1));
-    const auto it = setters().find(key);
-    if (it == setters().end()) {
+    const auto it = schema_index().find(key);
+    if (it == schema_index().end()) {
       throw std::invalid_argument("config: unknown key '" + key + "' at line " +
                                   std::to_string(line_no));
     }
-    it->second(cfg, value, key);
+    it->second->set(cfg, value, key);
   }
   cfg.validate();
   return cfg;
@@ -209,56 +306,46 @@ SystemConfig load_config_file(const std::string& path) {
 }
 
 void save_config(const SystemConfig& cfg, std::ostream& out) {
-  out << "[system]\n"
-      << "ncores = " << cfg.ncores << "\n"
-      << "freq_ghz = " << cfg.freq_ghz << "\n\n"
-      << "[l1]\n"
-      << "size_kb = " << cfg.l1.geom.size_bytes / 1024 << "\n"
-      << "ways = " << cfg.l1.geom.ways << "\n"
-      << "latency = " << cfg.l1.latency_cycles << "\n\n"
-      << "[l2]\n"
-      << "size_kb = " << cfg.l2.geom.size_bytes / 1024 << "\n"
-      << "ways = " << cfg.l2.geom.ways << "\n"
-      << "line_bytes = " << cfg.l2.geom.line_bytes << "\n"
-      << "latency = " << cfg.l2.latency_cycles << "\n"
-      << "banks = " << cfg.l2.banks << "\n"
-      << "access_occupancy = " << cfg.l2.access_occupancy_cycles << "\n"
-      << "refresh_occupancy = " << cfg.l2.refresh_occupancy_cycles << "\n"
-      << "queue_pressure = " << cfg.l2.queue_pressure << "\n\n"
-      << "[edram]\n"
-      << "retention_us = " << cfg.edram.retention_us << "\n"
-      << "rpv_phases = " << cfg.edram.rpv_phases << "\n"
-      << "ecc_correctable = " << cfg.edram.ecc_correctable << "\n"
-      << "ecc_target_line_failure = " << cfg.edram.ecc_target_line_failure << "\n\n"
-      << "[mem]\n"
-      << "latency = " << cfg.mem.latency_cycles << "\n"
-      << "bandwidth_gbps = " << cfg.mem.bandwidth_gbps << "\n\n"
-      << "[esteem]\n"
-      << "alpha = " << cfg.esteem.alpha << "\n"
-      << "a_min = " << cfg.esteem.a_min << "\n"
-      << "modules = " << cfg.esteem.modules << "\n"
-      << "interval_cycles = " << cfg.esteem.interval_cycles << "\n"
-      << "sampling_ratio = " << cfg.esteem.sampling_ratio << "\n"
-      << "nonlru_guard = " << (cfg.esteem.nonlru_guard ? "true" : "false") << "\n"
-      << "min_leader_samples = " << cfg.esteem.min_leader_samples << "\n"
-      << "history_weight = " << cfg.esteem.history_weight << "\n"
-      << "max_way_delta = " << cfg.esteem.max_way_delta << "\n"
-      << "hysteresis_intervals = " << cfg.esteem.hysteresis_intervals << "\n"
-      << "shrink_confirm_intervals = " << cfg.esteem.shrink_confirm_intervals << "\n\n"
-      << "[faults]\n"
-      << "enabled = " << (cfg.faults.enabled ? "true" : "false") << "\n"
-      << "seed = " << cfg.faults.seed << "\n"
-      << "median_multiple = " << cfg.faults.median_multiple << "\n"
-      << "sigma = " << cfg.faults.sigma << "\n"
-      << "correction_latency = " << cfg.faults.correction_latency_cycles << "\n"
-      << "disable_threshold = " << cfg.faults.disable_threshold << "\n"
-      << "max_tracked_extension = " << cfg.faults.max_tracked_extension << "\n";
+  std::string section;
+  for (const ConfigKeySpec& spec : config_schema()) {
+    if (spec.section != section) {
+      if (!section.empty()) out << "\n";
+      section = spec.section;
+      out << "[" << section << "]\n";
+    }
+    out << spec.key << " = " << spec.get(cfg) << "\n";
+  }
 }
 
 void save_config_file(const SystemConfig& cfg, const std::string& path) {
   std::ofstream out(path);
   if (!out) throw std::invalid_argument("config: cannot open " + path);
   save_config(cfg, out);
+}
+
+std::string config_doc_markdown(const SystemConfig& defaults) {
+  std::ostringstream os;
+  os << "# Configuration reference\n\n"
+     << "<!-- Generated by `esteem_cli --dump-config-doc`; do not edit by hand.\n"
+     << "     Regenerate with:  ./build/tools/esteem_cli --dump-config-doc > docs/CONFIG.md -->\n\n"
+     << "Every key accepted by `esteem_cli --config FILE` (INI format; see\n"
+     << "`--dump-config` for a ready-to-edit file). Unknown sections or keys are\n"
+     << "rejected. Defaults below are the paper's single-core setup\n"
+     << "(`SystemConfig::single_core()`); `SystemConfig::dual_core()` changes\n"
+     << "`system.ncores` to 2, `l2.size_kb` to 8192, `mem.bandwidth_gbps` to 15\n"
+     << "and `esteem.modules` to 16.\n";
+  std::string section;
+  for (const ConfigKeySpec& spec : config_schema()) {
+    if (spec.section != section) {
+      section = spec.section;
+      os << "\n## [" << section << "]\n\n"
+         << "| key | type | default | meaning |\n"
+         << "|---|---|---|---|\n";
+    }
+    os << "| `" << spec.key << "` | " << spec.type << " | `" << spec.get(defaults)
+       << "` | " << spec.doc << " |\n";
+  }
+  return os.str();
 }
 
 }  // namespace esteem

@@ -15,12 +15,34 @@
 // Unknown sections/keys are rejected (catching typos beats ignoring them).
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "common/config.hpp"
 
 namespace esteem {
+
+/// One key of the INI schema. The loader, the saver, and the generated
+/// config reference (docs/CONFIG.md) all derive from this table, so the
+/// three cannot drift apart.
+struct ConfigKeySpec {
+  std::string section;  ///< INI section, e.g. "l2".
+  std::string key;      ///< Key within the section, e.g. "size_kb".
+  std::string type;     ///< "int" | "float" | "bool".
+  std::string doc;      ///< One-line meaning (used in docs/CONFIG.md).
+  std::function<void(SystemConfig&, const std::string&, const std::string&)> set;
+  std::function<std::string(const SystemConfig&)> get;  ///< Serialized value.
+};
+
+/// The full INI schema in serialization order (sections contiguous).
+const std::vector<ConfigKeySpec>& config_schema();
+
+/// Markdown config-key reference generated from the schema; the "default"
+/// column shows each key's value in `defaults`. `esteem_cli
+/// --dump-config-doc` prints this for docs/CONFIG.md.
+std::string config_doc_markdown(const SystemConfig& defaults);
 
 /// Parses a config from an INI stream/file. Starts from the defaults and
 /// applies only the keys present, then validates. Throws

@@ -38,7 +38,8 @@ namespace {
 constexpr std::uint64_t kMemoMagic = 0x314F4D454D534525ULL;  // "%ESMEMO1"
 // Bump whenever the fingerprint layout, the serialized RunOutcome layout, or
 // simulator behaviour changes: stale memo files then read as misses.
-constexpr std::uint32_t kMemoFormatVersion = 1;
+// v2: EnergyScaleConfig joined the fingerprint.
+constexpr std::uint32_t kMemoFormatVersion = 2;
 
 /// Append-only byte writer with a fixed little-endian field encoding; the
 /// same encoding produces both fingerprints and memo-file payloads.
@@ -244,6 +245,9 @@ std::string run_spec_fingerprint(const RunSpec& spec) {
   w.u32(cfg.edram.ecc_correctable);
   w.f64(cfg.edram.ecc_target_line_failure);
   w.f64(cfg.edram.decay_interval_retentions);
+  w.f64(cfg.energy.refresh_scale);
+  w.f64(cfg.energy.dyn_scale);
+  w.f64(cfg.energy.leak_scale);
   w.f64(cfg.esteem.alpha);
   w.u32(cfg.esteem.a_min);
   w.u32(cfg.esteem.modules);

@@ -1,0 +1,70 @@
+#include "validation/fidelity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace esteem::validation {
+
+std::vector<double> rank_with_ties(const std::vector<double>& v) {
+  const std::size_t n = v.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && v[order[j + 1]] == v[order[i]]) ++j;
+    // Positions i..j (0-based) hold equal values: average of ranks i+1..j+1.
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double spearman(const std::vector<double>& a, const std::vector<double>& b) {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  if (a.size() != b.size() || a.size() < 2) return kNaN;
+  const std::vector<double> ra = rank_with_ties(a);
+  const std::vector<double> rb = rank_with_ties(b);
+
+  const double n = static_cast<double>(a.size());
+  const double mean = (n + 1.0) / 2.0;  // ranks always average to (n+1)/2
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = ra[i] - mean;
+    const double db = rb[i] - mean;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 || var_b == 0.0) return kNaN;  // constant side: undefined
+  return cov / std::sqrt(var_a * var_b);
+}
+
+double sign_agreement(const std::vector<SignClaim>& claims) {
+  if (claims.empty()) return 1.0;
+  std::size_t agree = 0;
+  for (const SignClaim& c : claims) agree += c.agrees() ? 1 : 0;
+  return static_cast<double>(agree) / static_cast<double>(claims.size());
+}
+
+double BandCheck::error() const noexcept {
+  return relative ? relative_error(measured, reference)
+                  : std::fabs(measured - reference);
+}
+
+bool BandCheck::pass() const noexcept { return error() <= tol; }
+
+double relative_error(double measured, double reference) {
+  constexpr double kEps = 1e-12;
+  return std::fabs(measured - reference) /
+         std::max(std::fabs(reference), kEps);
+}
+
+}  // namespace esteem::validation

@@ -1,0 +1,56 @@
+// Fidelity metrics: the small statistics the paper-fidelity scorecard is
+// built from. ESTEEM's claims are comparative (ESTEEM beats Refrint RPV on
+// energy; savings grow with core count and shrink with retention), so
+// fidelity is expressed as checked properties of *relative* metrics — sign
+// agreement, rank correlation, tolerance bands — rather than absolute-value
+// matching (see DESIGN.md §9 for the rationale).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace esteem::validation {
+
+/// Ranks of `v` (1-based), ties receiving the average of the ranks they
+/// span — the standard Spearman tie treatment.
+std::vector<double> rank_with_ties(const std::vector<double>& v);
+
+/// Spearman rank-correlation coefficient of two paired samples, computed as
+/// the Pearson correlation of their tie-averaged ranks. Returns NaN when the
+/// sizes differ, fewer than two pairs exist, or either side is constant.
+double spearman(const std::vector<double>& a, const std::vector<double>& b);
+
+/// One directional claim: does the measurement point the way the reference
+/// (the paper, or the golden baseline) says it should?
+struct SignClaim {
+  std::string name;
+  bool expected = true;
+  bool measured = false;
+
+  bool agrees() const noexcept { return expected == measured; }
+};
+
+/// Fraction of claims that agree (1.0 for an empty list).
+double sign_agreement(const std::vector<SignClaim>& claims);
+
+/// Tolerance band on one scalar: passes when the measured value sits within
+/// `tol` of the reference — relatively (|m-r| <= tol*|r|) or absolutely
+/// (|m-r| <= tol).
+struct BandCheck {
+  std::string name;
+  double measured = 0.0;
+  double reference = 0.0;
+  double tol = 0.0;
+  bool relative = true;
+
+  /// The error the band is judged on (relative or absolute per the flag).
+  double error() const noexcept;
+  bool pass() const noexcept;
+};
+
+/// |measured - reference| / |reference|, guarding reference == 0 with an
+/// epsilon denominator so near-zero references read as large errors instead
+/// of dividing by zero.
+double relative_error(double measured, double reference);
+
+}  // namespace esteem::validation

@@ -1,0 +1,34 @@
+// RESULTS.md renderer: turns a measured figure matrix + scorecard into the
+// committed results book — per-figure tables, ASCII bar charts, the §1/§5
+// exact checks (Table 2 refresh share, Eq 1 overhead, Figure 2 timeline
+// properties), and the exact commands that regenerate every number. The
+// output is deterministic in the inputs (no timestamps), so regenerating at
+// the same scale on the same code is byte-identical — which is what lets CI
+// diff the committed book against a fresh render.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "validation/figures.hpp"
+#include "validation/scorecard.hpp"
+
+namespace esteem::validation {
+
+/// §1/§5 exact checks rendered into the book.
+struct ExactChecks {
+  double refresh_share_pct = 0.0;   ///< Table 2: refresh share of idle 4MB L2.
+  double overhead_pct = 0.0;        ///< Eq 1 at the paper point (4MB/16w/16m).
+  Fig2Result fig2;
+};
+
+/// Computes the exact checks (Figure 2 runs at `scale` through the memo
+/// cache; the other two are closed-form).
+ExactChecks run_exact_checks(const ScaleSpec& scale);
+
+/// Renders the full results book.
+std::string results_book_markdown(const std::vector<FigureResult>& results,
+                                  const Scorecard& card,
+                                  const ExactChecks& checks);
+
+}  // namespace esteem::validation

@@ -1,0 +1,89 @@
+#include "validation/scale.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/env.hpp"
+#include "sim/task_pool.hpp"
+
+namespace esteem::validation {
+
+ScaleSpec bench_scale() {
+  ScaleSpec s;
+  s.label = "bench";
+  s.instr_per_core = env_u64("ESTEEM_INSTR", 8'000'000);
+  s.warmup_per_core = env_u64("ESTEEM_WARMUP", s.instr_per_core / 5);
+  s.seed = env_u64("ESTEEM_SEED", 42);
+  s.interval_env_factor = static_cast<double>(env_u64("ESTEEM_INTERVAL_FACTOR", 4));
+  s.threads = static_cast<unsigned>(env_u64("ESTEEM_THREADS", 0));
+  return s;
+}
+
+ScaleSpec smoke_scale() {
+  ScaleSpec s;
+  s.label = "smoke";
+  s.instr_per_core = 300'000;
+  s.warmup_per_core = 60'000;
+  s.seed = 42;
+  s.interval_env_factor = 4.0;
+  s.threads = 0;
+  return s;
+}
+
+std::string scale_fingerprint(const ScaleSpec& scale) {
+  std::ostringstream os;
+  os << "v1;instr=" << scale.instr_per_core << ";warmup=" << scale.warmup_per_core
+     << ";seed=" << scale.seed << ";ifactor=" << scale.interval_env_factor
+     << ";hyst=" << kScaledHysteresis << ";shrink=" << kScaledShrinkConfirm;
+  return os.str();
+}
+
+cycle_t scaled_interval(const SystemConfig& cfg, instr_t instr,
+                        double env_factor, double interval_factor) {
+  const double scale = static_cast<double>(instr) / kPaperInstrPerCore;
+  const auto cycles = static_cast<cycle_t>(kPaperIntervalCycles * scale *
+                                           env_factor * interval_factor);
+  return std::max<cycle_t>(cycles, cfg.retention_cycles());
+}
+
+namespace {
+
+SystemConfig apply_scale(SystemConfig cfg, const ScaleSpec& scale,
+                         double interval_factor) {
+  cfg.esteem.interval_cycles =
+      scaled_interval(cfg, scale.instr_per_core, scale.interval_env_factor,
+                      interval_factor);
+  cfg.esteem.hysteresis_intervals = kScaledHysteresis;
+  cfg.esteem.shrink_confirm_intervals = kScaledShrinkConfirm;
+  return cfg;
+}
+
+}  // namespace
+
+SystemConfig scaled_single(const ScaleSpec& scale, double interval_factor) {
+  return apply_scale(SystemConfig::single_core(), scale, interval_factor);
+}
+
+SystemConfig scaled_dual(const ScaleSpec& scale, double interval_factor) {
+  return apply_scale(SystemConfig::dual_core(), scale, interval_factor);
+}
+
+std::string scale_banner(const std::string& what, const SystemConfig& cfg,
+                         instr_t instr, unsigned threads) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "%s\n  scale: %llu instructions/core (paper: 400M), interval %llu cycles "
+      "(paper: 10M), retention %.0f us, %u-core, L2 %.0f MB %u-way, %u modules, "
+      "%u sweep worker thread(s)\n\n",
+      what.c_str(), static_cast<unsigned long long>(instr),
+      static_cast<unsigned long long>(cfg.esteem.interval_cycles),
+      cfg.edram.retention_us, cfg.ncores,
+      static_cast<double>(cfg.l2.geom.size_bytes) / (1024.0 * 1024.0),
+      cfg.l2.geom.ways, cfg.esteem.modules,
+      sim::TaskPool::resolve_threads(threads));
+  return buf;
+}
+
+}  // namespace esteem::validation

@@ -1,0 +1,76 @@
+// Run-scale policy shared by the bench harness and the paper-fidelity
+// validator.
+//
+// The paper fast-forwards 10B instructions and measures 400M per benchmark
+// with 10M-cycle reconfiguration intervals. Scaled runs shrink the measured
+// instruction count and shrink the interval proportionally (times an
+// interval factor compensating for the synthetic workloads' lower IPC — see
+// DESIGN.md §5), so a run still spans the same ~40-80 reconfiguration
+// intervals. A ScaleSpec pins every scale parameter; its fingerprint keys
+// golden-file entries so measured results are only ever compared against a
+// baseline recorded at the same scale.
+#pragma once
+
+#include <string>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace esteem::validation {
+
+inline constexpr instr_t kPaperInstrPerCore = 400'000'000;
+inline constexpr double kPaperIntervalCycles = 10'000'000.0;
+
+/// Reconfiguration-churn damping used by all scaled runs: the paper's
+/// proposed hysteresis extension (§7.2) with a 2-interval window, because at
+/// scaled intervals a one-way flush is ~50x more expensive relative to the
+/// interval than at the paper's 10M cycles.
+inline constexpr std::uint32_t kScaledHysteresis = 2;
+inline constexpr std::uint32_t kScaledShrinkConfirm = 2;
+
+/// Everything that determines the inputs of a scaled figure run (except the
+/// system configuration itself, which each figure derives from this).
+struct ScaleSpec {
+  std::string label = "bench";     ///< "bench" | "smoke" | "custom".
+  instr_t instr_per_core = 8'000'000;
+  instr_t warmup_per_core = 1'600'000;
+  std::uint64_t seed = 42;
+  /// ESTEEM_INTERVAL_FACTOR: lengthens the proportionally-scaled interval
+  /// (see DESIGN.md §5).
+  double interval_env_factor = 4.0;
+  /// Sweep worker threads (0 = hardware concurrency). Not part of the
+  /// fingerprint: serial and threaded sweeps are bit-identical.
+  unsigned threads = 0;
+};
+
+/// The bench harness scale: ESTEEM_INSTR / ESTEEM_WARMUP / ESTEEM_SEED /
+/// ESTEEM_INTERVAL_FACTOR / ESTEEM_THREADS with the historical defaults.
+ScaleSpec bench_scale();
+
+/// Pinned reduced scale for fast validation smokes (~300k instructions per
+/// core). Deliberately ignores the ESTEEM_* environment so "smoke" always
+/// means the same runs everywhere (CI and local).
+ScaleSpec smoke_scale();
+
+/// Canonical identity of a scale, e.g.
+/// "v1;instr=300000;warmup=60000;seed=42;ifactor=4;hyst=2;shrink=2".
+/// Golden entries are keyed by this string.
+std::string scale_fingerprint(const ScaleSpec& scale);
+
+/// Scales the 10M-cycle reconfiguration interval to `instr` instructions
+/// (`interval_factor` expresses Table 3's 5M/15M rows as 0.5x/1.5x), floored
+/// at one retention period so refresh accounting stays sane.
+cycle_t scaled_interval(const SystemConfig& cfg, instr_t instr,
+                        double env_factor, double interval_factor = 1.0);
+
+/// Paper single-core / dual-core configurations with the scaled interval and
+/// the churn damping applied.
+SystemConfig scaled_single(const ScaleSpec& scale, double interval_factor = 1.0);
+SystemConfig scaled_dual(const ScaleSpec& scale, double interval_factor = 1.0);
+
+/// The scale banner every figure run prints (exact bench-binary format,
+/// including the trailing blank line).
+std::string scale_banner(const std::string& what, const SystemConfig& cfg,
+                         instr_t instr, unsigned threads);
+
+}  // namespace esteem::validation

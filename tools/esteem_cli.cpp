@@ -35,6 +35,9 @@
 //     --interval-stats         record the per-interval counter time-series
 //                              (written as <label>.intervals.jsonl)
 //     --dump-config            print the effective configuration and exit
+//     --dump-config-doc        print the Markdown config-key reference
+//                              generated from the INI schema (docs/CONFIG.md)
+//                              and exit
 //     --list-workloads         print all Table 1 benchmark names and exit
 //
 // Telemetry is off by default and observer-free: with none of the three
@@ -72,7 +75,8 @@ using namespace esteem;
                "                  [--compare] [--timeline FILE]\n"
                "                  [--telemetry-dir DIR] [--trace FILE]\n"
                "                  [--interval-stats]\n"
-               "                  [--dump-config] [--list-workloads]\n");
+               "                  [--dump-config] [--dump-config-doc]\n"
+               "                  [--list-workloads]\n");
   std::exit(2);
 }
 
@@ -249,6 +253,12 @@ int main(int argc, char** argv) {
     else if (arg == "--trace") trace_path = value();
     else if (arg == "--interval-stats") interval_stats = true;
     else if (arg == "--dump-config") dump_config = true;
+    else if (arg == "--dump-config-doc") {
+      // The reference documents the schema itself, so it is generated from
+      // the canonical defaults regardless of --config.
+      std::printf("%s", config_doc_markdown(SystemConfig::single_core()).c_str());
+      return 0;
+    }
     else if (arg == "--list-workloads") {
       for (const auto& p : trace::all_profiles()) {
         std::printf("%-12s %s\n", std::string(p.name).c_str(),
