@@ -1,0 +1,48 @@
+# End-to-end crash-safe resume check: a journal written while sweeping a
+# subset of workloads seeds a --resume over the full list in a *separate
+# process*, and the resumed CSV must be byte-identical to an uninterrupted
+# run's. Invoked by the cli_resume_bitwise ctest with -DCLI=<binary>
+# -DWORKDIR=<scratch dir>.
+set(sweep_args --techniques rpv --instr 30000 --warmup 5000)
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+
+# 1. Reference: the uninterrupted sweep.
+execute_process(COMMAND ${CLI} --sweep gamess,gobmk ${sweep_args}
+                        --csv ${WORKDIR}/full.csv
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "reference sweep failed (exit ${rc})")
+endif()
+
+# 2. "Interrupted" leg: only one workload completes, journaled. This is the
+#    state a SIGKILL mid-sweep leaves behind.
+execute_process(COMMAND ${CLI} --sweep gamess ${sweep_args}
+                        --journal ${WORKDIR}/sweep.journal
+                        --csv ${WORKDIR}/partial.csv
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "journaled subset sweep failed (exit ${rc})")
+endif()
+
+# 3. Resume over the full workload list in a fresh process.
+execute_process(COMMAND ${CLI} --sweep gamess,gobmk ${sweep_args}
+                        --resume ${WORKDIR}/sweep.journal
+                        --csv ${WORKDIR}/resumed.csv
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resumed sweep failed (exit ${rc}): ${out}${err}")
+endif()
+if(NOT "${out}${err}" MATCHES "resume: 1 row\\(s\\) restored")
+  message(FATAL_ERROR "resume did not restore the journaled row: ${out}${err}")
+endif()
+
+# 4. The resumed CSV must match the uninterrupted one byte for byte.
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${WORKDIR}/full.csv ${WORKDIR}/resumed.csv
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "resumed CSV differs from the uninterrupted sweep's")
+endif()
+file(REMOVE_RECURSE ${WORKDIR})

@@ -110,6 +110,22 @@ struct FaultConfig {
   std::uint32_t max_tracked_extension = 16;
 };
 
+/// Sweep-runner resilience knobs (src/resilience; DESIGN.md §11). These
+/// govern *how* runs execute, not what they compute, so they are excluded
+/// from the memo-cache fingerprint: changing a deadline never invalidates
+/// cached outcomes.
+struct ResilienceConfig {
+  /// Wall-clock budget per (workload, technique) run in milliseconds. A run
+  /// past its deadline is reported as RunError{phase="deadline"} and its
+  /// late result is discarded. 0 = no deadline.
+  std::uint32_t run_deadline_ms = 0;
+  /// Extra attempts after a transient run failure (deadline overruns are
+  /// never retried). 0 = fail on first error.
+  std::uint32_t max_retries = 0;
+  /// Base delay before the first retry; doubles per attempt (capped).
+  std::uint32_t backoff_ms = 100;
+};
+
 /// Parameters of the ESTEEM energy-saving algorithm (§3, §4, §7).
 struct EsteemParams {
   /// Hit-coverage threshold: keep enough ways on to cover >= alpha * hits.
@@ -164,6 +180,7 @@ struct SystemConfig {
   EnergyScaleConfig energy;
   EsteemParams esteem;
   FaultConfig faults;
+  ResilienceConfig resilience;
 
   cycle_t retention_cycles() const noexcept {
     return static_cast<cycle_t>(edram.retention_us * 1000.0 * freq_ghz);

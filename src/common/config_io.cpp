@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -18,15 +19,29 @@ std::string trim(const std::string& s) {
 
 double parse_double(const std::string& v, const std::string& key) {
   std::size_t used = 0;
-  const double d = std::stod(v, &used);
-  if (used != v.size()) throw std::invalid_argument("config: bad number for " + key);
+  double d = 0.0;
+  try {
+    d = std::stod(v, &used);
+  } catch (const std::exception&) {  // stod throws bare invalid_argument/out_of_range
+    used = 0;
+  }
+  if (used != v.size()) {
+    throw std::invalid_argument("config: bad number '" + v + "' for " + key);
+  }
   return d;
 }
 
 std::uint64_t parse_u64(const std::string& v, const std::string& key) {
   std::size_t used = 0;
-  const unsigned long long u = std::stoull(v, &used);
-  if (used != v.size()) throw std::invalid_argument("config: bad integer for " + key);
+  unsigned long long u = 0;
+  try {
+    u = std::stoull(v, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != v.size()) {
+    throw std::invalid_argument("config: bad integer '" + v + "' for " + key);
+  }
   return u;
 }
 
@@ -243,6 +258,19 @@ std::vector<ConfigKeySpec> build_schema() {
                       "Largest refresh-interval extension the weak-cell map resolves",
                       [](SystemConfig& c, std::uint64_t v) { c.faults.max_tracked_extension = static_cast<std::uint32_t>(v); },
                       [](const SystemConfig& c) -> std::uint64_t { return c.faults.max_tracked_extension; }));
+
+  s.push_back(int_key("resilience", "run_deadline_ms",
+                      "Wall-clock budget per run in ms; overruns become RunError{phase=deadline} (0 = off)",
+                      [](SystemConfig& c, std::uint64_t v) { c.resilience.run_deadline_ms = static_cast<std::uint32_t>(v); },
+                      [](const SystemConfig& c) -> std::uint64_t { return c.resilience.run_deadline_ms; }));
+  s.push_back(int_key("resilience", "max_retries",
+                      "Extra attempts after a transient run failure (deadline overruns never retry)",
+                      [](SystemConfig& c, std::uint64_t v) { c.resilience.max_retries = static_cast<std::uint32_t>(v); },
+                      [](const SystemConfig& c) -> std::uint64_t { return c.resilience.max_retries; }));
+  s.push_back(int_key("resilience", "backoff_ms",
+                      "Base retry delay in ms; doubles per attempt (capped at 2^16x)",
+                      [](SystemConfig& c, std::uint64_t v) { c.resilience.backoff_ms = static_cast<std::uint32_t>(v); },
+                      [](const SystemConfig& c) -> std::uint64_t { return c.resilience.backoff_ms; }));
   return s;
 }
 
@@ -269,31 +297,47 @@ SystemConfig load_config(std::istream& in) {
   std::string section;
   std::string line;
   std::size_t line_no = 0;
+  std::set<std::string> seen;
   while (std::getline(in, line)) {
     ++line_no;
     const std::string t = trim(line);
     if (t.empty() || t[0] == '#' || t[0] == ';') continue;
     if (t.front() == '[') {
       if (t.back() != ']') {
-        throw std::invalid_argument("config: bad section at line " +
-                                    std::to_string(line_no));
+        throw ConfigParseError(line_no, "",
+                               "config: unterminated section header at line " +
+                                   std::to_string(line_no));
       }
       section = trim(t.substr(1, t.size() - 2));
       continue;
     }
     const auto eq = t.find('=');
     if (eq == std::string::npos) {
-      throw std::invalid_argument("config: expected key=value at line " +
-                                  std::to_string(line_no));
+      throw ConfigParseError(line_no, "",
+                             "config: expected key=value at line " +
+                                 std::to_string(line_no));
     }
     const std::string key = section + "." + trim(t.substr(0, eq));
     const std::string value = trim(t.substr(eq + 1));
     const auto it = schema_index().find(key);
     if (it == schema_index().end()) {
-      throw std::invalid_argument("config: unknown key '" + key + "' at line " +
-                                  std::to_string(line_no));
+      throw ConfigParseError(line_no, key,
+                             "config: unknown key '" + key + "' at line " +
+                                 std::to_string(line_no));
     }
-    it->second->set(cfg, value, key);
+    if (!seen.insert(key).second) {
+      throw ConfigParseError(line_no, key,
+                             "config: duplicate key '" + key + "' at line " +
+                                 std::to_string(line_no));
+    }
+    try {
+      it->second->set(cfg, value, key);
+    } catch (const std::exception& e) {
+      // Value errors from the typed setters gain the line number here.
+      throw ConfigParseError(line_no, key,
+                             std::string(e.what()) + " at line " +
+                                 std::to_string(line_no));
+    }
   }
   cfg.validate();
   return cfg;

@@ -15,8 +15,10 @@
 // Unknown sections/keys are rejected (catching typos beats ignoring them).
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -38,6 +40,23 @@ struct ConfigKeySpec {
 
 /// The full INI schema in serialization order (sections contiguous).
 const std::vector<ConfigKeySpec>& config_schema();
+
+/// Structured INI parse failure: what() always carries the 1-based line
+/// number (and the offending section.key when one was identified), and the
+/// same facts are available as fields for programmatic handling. Derives
+/// from std::invalid_argument so existing catch sites keep working.
+class ConfigParseError : public std::invalid_argument {
+ public:
+  ConfigParseError(std::size_t line, std::string key, const std::string& message)
+      : std::invalid_argument(message), line_(line), key_(std::move(key)) {}
+
+  std::size_t line() const noexcept { return line_; }      ///< 1-based; 0 = n/a.
+  const std::string& key() const noexcept { return key_; } ///< "section.key" or "".
+
+ private:
+  std::size_t line_;
+  std::string key_;
+};
 
 /// Markdown config-key reference generated from the schema; the "default"
 /// column shows each key's value in `defaults`. `esteem_cli

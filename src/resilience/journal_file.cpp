@@ -1,0 +1,204 @@
+#include "resilience/journal_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "resilience/crc32.hpp"
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace esteem::resilience {
+
+namespace {
+
+const std::string kEmpty;
+
+/// Hex render of a CRC value, fixed width so lines are self-delimiting.
+std::string crc_hex(std::uint32_t crc) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%08x", crc);
+  return buf;
+}
+
+/// Scans `"key":"value"` at `pos` (expects it to start exactly there);
+/// advances pos past the pair. Values are raw (no escape handling, matching
+/// the writer's contract).
+bool scan_pair(const std::string& s, std::size_t& pos, std::string& key,
+               std::string& value) {
+  if (pos >= s.size() || s[pos] != '"') return false;
+  const std::size_t key_end = s.find('"', pos + 1);
+  if (key_end == std::string::npos) return false;
+  key = s.substr(pos + 1, key_end - pos - 1);
+  if (s.compare(key_end, 3, "\":\"") != 0) return false;
+  const std::size_t val_begin = key_end + 3;
+  const std::size_t val_end = s.find('"', val_begin);
+  if (val_end == std::string::npos) return false;
+  value = s.substr(val_begin, val_end - val_begin);
+  pos = val_end + 1;
+  return true;
+}
+
+}  // namespace
+
+const std::string& JournalRecord::field(const std::string& key) const {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return v;
+  }
+  return kEmpty;
+}
+
+std::string JournalFile::encode(const JournalRecord& record) {
+  std::ostringstream os;
+  os << "{\"v\":1,\"kind\":\"" << record.kind << '"';
+  for (const auto& [k, v] : record.fields) {
+    os << ",\"" << k << "\":\"" << v << '"';
+  }
+  std::string body = os.str();
+  const std::uint32_t crc = crc32(body);
+  body += ",\"crc\":\"";
+  body += crc_hex(crc);
+  body += "\"}";
+  return body;
+}
+
+bool JournalFile::decode(const std::string& line, JournalRecord& out) {
+  // Layout check: {"v":1,...,"crc":"xxxxxxxx"}
+  static const std::string kPrefix = "{\"v\":1,\"kind\":\"";
+  static const std::string kCrcKey = ",\"crc\":\"";
+  if (line.compare(0, kPrefix.size(), kPrefix) != 0) return false;
+  const std::size_t crc_pos = line.rfind(kCrcKey);
+  if (crc_pos == std::string::npos) return false;
+  const std::size_t crc_val = crc_pos + kCrcKey.size();
+  if (line.size() != crc_val + 8 + 2 || line.compare(crc_val + 8, 2, "\"}") != 0) {
+    return false;
+  }
+  std::uint32_t stored = 0;
+  for (std::size_t i = crc_val; i < crc_val + 8; ++i) {
+    const char c = line[i];
+    std::uint32_t nib = 0;
+    if (c >= '0' && c <= '9') nib = static_cast<std::uint32_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') nib = static_cast<std::uint32_t>(c - 'a' + 10);
+    else return false;
+    stored = (stored << 4) | nib;
+  }
+  if (crc32(line.data(), crc_pos) != stored) return false;
+
+  // Body parse: kind, then remaining "key":"value" pairs.
+  JournalRecord rec;
+  std::size_t pos = std::string("{\"v\":1,").size();
+  std::string key, value;
+  while (pos < crc_pos) {
+    if (!scan_pair(line, pos, key, value)) return false;
+    if (key == "kind") {
+      rec.kind = value;
+    } else {
+      rec.fields.emplace_back(std::move(key), std::move(value));
+    }
+    if (pos < crc_pos) {
+      if (line[pos] != ',') return false;
+      ++pos;
+    }
+  }
+  if (rec.kind.empty()) return false;
+  out = std::move(rec);
+  return true;
+}
+
+JournalFile::~JournalFile() { close(); }
+
+bool JournalFile::open(const std::string& path, bool truncate) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) {
+#if !defined(_WIN32)
+    ::close(fd_);
+#endif
+    fd_ = -1;
+  }
+#if defined(_WIN32)
+  last_error_ = "journal: unsupported platform";
+  return false;
+#else
+  int flags = O_WRONLY | O_CREAT | O_APPEND;
+  if (truncate) flags |= O_TRUNC;
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    last_error_ = "journal: cannot open " + path + ": " + std::strerror(errno);
+    return false;
+  }
+  fd_ = fd;
+  path_ = path;
+  last_error_.clear();
+  return true;
+#endif
+}
+
+bool JournalFile::append(const JournalRecord& record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) {
+    last_error_ = "journal: not open";
+    return false;
+  }
+#if defined(_WIN32)
+  return false;
+#else
+  const std::string line = encode(record) + "\n";
+  // One write(2) per record: with O_APPEND the kernel appends the whole
+  // buffer at the current end atomically w.r.t. other appenders, so a crash
+  // tears at most the final line.
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      last_error_ = std::string("journal: write failed: ") + std::strerror(errno);
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    last_error_ = std::string("journal: fsync failed: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+#endif
+}
+
+void JournalFile::close() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0) {
+#if !defined(_WIN32)
+    ::fsync(fd_);
+    ::close(fd_);
+#endif
+    fd_ = -1;
+  }
+}
+
+JournalLoadResult JournalFile::load(const std::string& path) {
+  JournalLoadResult result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return result;
+  result.exists = true;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    JournalRecord rec;
+    if (decode(line, rec)) {
+      result.records.push_back(std::move(rec));
+    } else {
+      ++result.corrupt_lines;
+    }
+  }
+  // A file whose last byte is not '\n' ends in a torn append; getline already
+  // delivered that fragment and decode() rejected it via the CRC.
+  return result;
+}
+
+}  // namespace esteem::resilience

@@ -1,0 +1,87 @@
+// Crash-safe record log: append-only, fsync'd, per-line-checksummed JSONL.
+//
+// Each record is one line of flat JSON whose values are plain strings (the
+// caller hex-encodes anything binary), closed by a CRC-32 of everything
+// before the crc field:
+//
+//   {"v":1,"kind":"row","workload":"mcf","payload":"9a3f...","crc":"8d21c4f0"}
+//
+// Durability contract: append() writes the whole line with a single write(2)
+// to an O_APPEND descriptor and fsyncs before returning, so once append()
+// returns the record survives SIGKILL and power loss. A crash *during*
+// append leaves at most one torn tail line, which load() detects via the
+// CRC (or the missing newline) and reports as corrupt instead of returning
+// garbage — everything before the tear is still usable.
+//
+// This layer knows nothing about sweeps; sim/sweep_journal.hpp gives the
+// records their meaning.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace esteem::resilience {
+
+/// One journal record: a kind tag plus ordered (key, value) string fields.
+/// Values must not contain '"' or '\\' — the writer does not escape (callers
+/// hex-encode arbitrary data); a value that breaks this renders only its own
+/// line unparseable, which the loader treats as corruption.
+struct JournalRecord {
+  std::string kind;
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  /// First value stored under `key`; "" when absent.
+  const std::string& field(const std::string& key) const;
+};
+
+struct JournalLoadResult {
+  std::vector<JournalRecord> records;  ///< CRC-verified records, file order.
+  std::size_t corrupt_lines = 0;       ///< Torn/garbled lines skipped.
+  bool exists = false;                 ///< File was present and readable.
+};
+
+class JournalFile {
+ public:
+  JournalFile() = default;
+  ~JournalFile();
+  JournalFile(const JournalFile&) = delete;
+  JournalFile& operator=(const JournalFile&) = delete;
+
+  /// Opens `path` for appending. `truncate` starts a fresh journal;
+  /// otherwise existing records are preserved and appends go after them.
+  /// Returns false (with the reason in last_error()) when the file cannot
+  /// be opened.
+  bool open(const std::string& path, bool truncate);
+
+  /// Appends one checksummed record line and fsyncs. Thread-safe. Returns
+  /// false if the journal is closed or the write/fsync failed.
+  bool append(const JournalRecord& record);
+
+  void close();
+  bool is_open() const noexcept { return fd_ >= 0; }
+  const std::string& path() const noexcept { return path_; }
+  const std::string& last_error() const noexcept { return last_error_; }
+
+  /// Parses a journal from disk, CRC-verifying every line. Never throws:
+  /// unreadable file -> exists=false; damaged lines are counted and skipped.
+  static JournalLoadResult load(const std::string& path);
+
+  /// Renders a record as its line (without trailing newline) — the exact
+  /// bytes append() writes. Exposed for tests.
+  static std::string encode(const JournalRecord& record);
+
+  /// Inverse of encode(); false when the line is torn, garbled, or fails
+  /// its CRC.
+  static bool decode(const std::string& line, JournalRecord& out);
+
+ private:
+  std::mutex mutex_;
+  int fd_ = -1;
+  std::string path_;
+  std::string last_error_;
+};
+
+}  // namespace esteem::resilience

@@ -1,0 +1,42 @@
+#include "resilience/shutdown.hpp"
+
+#include <atomic>
+#include <csignal>
+
+namespace esteem::resilience {
+
+namespace {
+
+// Two flags on purpose: the sig_atomic_t is the only thing the handler
+// touches (async-signal-safe); the atomic mirrors it for cross-thread
+// visibility from request_shutdown()/worker polls.
+volatile std::sig_atomic_t g_signal_flag = 0;
+std::atomic<bool> g_requested{false};
+
+extern "C" void esteem_shutdown_handler(int sig) {
+  g_signal_flag = 1;
+  // Re-arm to default so a second signal terminates immediately instead of
+  // being swallowed while the pool drains. std::signal is async-signal-safe
+  // for this use.
+  std::signal(sig, SIG_DFL);
+}
+
+}  // namespace
+
+void install_signal_handlers() {
+  std::signal(SIGINT, esteem_shutdown_handler);
+  std::signal(SIGTERM, esteem_shutdown_handler);
+}
+
+bool shutdown_requested() noexcept {
+  return g_signal_flag != 0 || g_requested.load(std::memory_order_relaxed);
+}
+
+void request_shutdown() noexcept { g_requested.store(true, std::memory_order_relaxed); }
+
+void clear_shutdown() noexcept {
+  g_requested.store(false, std::memory_order_relaxed);
+  g_signal_flag = 0;
+}
+
+}  // namespace esteem::resilience

@@ -1,0 +1,102 @@
+#include "resilience/watchdog.hpp"
+
+#include <cstdio>
+
+#include "telemetry/telemetry.hpp"
+
+namespace esteem::resilience {
+
+DeadlineExceeded::DeadlineExceeded(const std::string& label, std::uint32_t deadline_ms)
+    : std::runtime_error("run '" + label + "' exceeded its " +
+                         std::to_string(deadline_ms) + " ms deadline") {}
+
+Watchdog& Watchdog::instance() {
+  static Watchdog dog;
+  return dog;
+}
+
+Watchdog::~Watchdog() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (monitor_.joinable()) monitor_.join();
+}
+
+std::uint64_t Watchdog::add(std::string label, std::uint32_t deadline_ms) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t id = next_id_++;
+  Entry entry;
+  entry.label = std::move(label);
+  entry.deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(deadline_ms);
+  entries_.emplace(id, std::move(entry));
+  if (!thread_running_) {
+    thread_running_ = true;
+    monitor_ = std::thread([this] { monitor_loop(); });
+  }
+  cv_.notify_all();  // re-evaluate the earliest deadline
+  return id;
+}
+
+bool Watchdog::remove(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  bool late = it->second.expired;
+  if (!late && std::chrono::steady_clock::now() >= it->second.deadline) {
+    // The run finished past its budget before the monitor woke: same
+    // verdict, counted once here instead.
+    mark_expired_locked(it->second);
+    late = true;
+  }
+  entries_.erase(it);
+  return late;
+}
+
+std::size_t Watchdog::active() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void Watchdog::mark_expired_locked(Entry& entry) {
+  entry.expired = true;
+  if (telemetry::active()) {
+    telemetry::registry().counter("resilience.deadline_exceeded").add();
+  }
+  std::fprintf(stderr, "watchdog: run '%s' exceeded its deadline\n",
+               entry.label.c_str());
+}
+
+void Watchdog::monitor_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    // Earliest pending deadline decides the wake-up; no entries -> sleep
+    // until the next add() notifies.
+    bool have_pending = false;
+    auto next = std::chrono::steady_clock::time_point::max();
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& [id, entry] : entries_) {
+      if (entry.expired) continue;
+      if (now >= entry.deadline) {
+        mark_expired_locked(entry);
+      } else {
+        have_pending = true;
+        if (entry.deadline < next) next = entry.deadline;
+      }
+    }
+    if (have_pending) {
+      cv_.wait_until(lock, next);
+    } else {
+      cv_.wait(lock);
+    }
+  }
+}
+
+std::uint64_t next_backoff_ms(std::uint32_t attempt, std::uint32_t backoff_ms) noexcept {
+  const std::uint32_t shift = attempt > 16 ? 16u : attempt;
+  return static_cast<std::uint64_t>(backoff_ms) << shift;
+}
+
+}  // namespace esteem::resilience

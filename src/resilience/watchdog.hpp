@@ -1,0 +1,149 @@
+// Run watchdog + retry policy for long-running work units.
+//
+// Watchdog state machine (per registered run):
+//
+//     add() ──► ACTIVE ──(monitor: now >= deadline)──► EXPIRED
+//                  │                                      │
+//                  └──────────── remove() ◄───────────────┘
+//
+// A WatchdogGuard registers the run on construction and deregisters on
+// destruction; remove() reports whether the run overshot its deadline —
+// either because the monitor thread marked it mid-flight or because the
+// elapsed time exceeds the deadline at completion. The watchdog is
+// *cooperative*: it cannot preempt a hung simulation thread (killing a
+// thread that holds locks would corrupt the process), so its job is
+// (a) making the hang observable immediately — `resilience.deadline_exceeded`
+// ticks in the telemetry CounterRegistry and a line goes to stderr the
+// moment the deadline passes, while the run is still stuck — and
+// (b) discarding the result if the run eventually finishes late, so a
+// deadline overrun surfaces deterministically as RunError{phase="deadline"}
+// instead of silently polluting the sweep.
+//
+// The monitor thread is started lazily on the first registration with a
+// nonzero deadline and wakes exactly when the earliest active deadline is
+// due (no fixed polling period), so an idle watchdog costs nothing.
+//
+// RetryPolicy/with_retries implement transient-failure retry with capped
+// exponential backoff; deadline overruns are deliberately *not* retried
+// (a run that blows its budget once will blow it again).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace esteem::resilience {
+
+/// Thrown (by the caller, via WatchdogGuard::expired()) when a run exceeded
+/// its wall-clock deadline. Carries the label and budget for the error
+/// report; converted to RunError{phase="deadline"} by the sweep runner.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  DeadlineExceeded(const std::string& label, std::uint32_t deadline_ms);
+};
+
+class Watchdog {
+ public:
+  /// Process-wide instance (monitor thread joined at exit).
+  static Watchdog& instance();
+
+  Watchdog() = default;
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Registers a run with a wall-clock budget. Returns a nonzero id.
+  std::uint64_t add(std::string label, std::uint32_t deadline_ms);
+
+  /// Deregisters; true when the run overshot its deadline (marked by the
+  /// monitor mid-flight, or detected now at completion).
+  bool remove(std::uint64_t id);
+
+  /// Active registrations (tests).
+  std::size_t active() const;
+
+ private:
+  struct Entry {
+    std::string label;
+    std::chrono::steady_clock::time_point deadline;
+    bool expired = false;
+  };
+
+  void monitor_loop();
+  void mark_expired_locked(Entry& entry);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, Entry> entries_;
+  std::uint64_t next_id_ = 1;
+  bool stop_ = false;
+  bool thread_running_ = false;
+  std::thread monitor_;
+};
+
+/// RAII registration; inert when deadline_ms == 0.
+class WatchdogGuard {
+ public:
+  WatchdogGuard(std::string label, std::uint32_t deadline_ms)
+      : deadline_ms_(deadline_ms),
+        id_(deadline_ms == 0 ? 0 : Watchdog::instance().add(std::move(label), deadline_ms)) {}
+  ~WatchdogGuard() {
+    if (id_ != 0) Watchdog::instance().remove(id_);
+  }
+  WatchdogGuard(const WatchdogGuard&) = delete;
+  WatchdogGuard& operator=(const WatchdogGuard&) = delete;
+
+  /// Deregisters and reports deadline overrun. Call once, after the guarded
+  /// work completes; the destructor handles the not-called (exception) path.
+  bool expired() {
+    if (id_ == 0) return false;
+    const bool late = Watchdog::instance().remove(id_);
+    id_ = 0;
+    return late;
+  }
+  std::uint32_t deadline_ms() const noexcept { return deadline_ms_; }
+
+ private:
+  std::uint32_t deadline_ms_;
+  std::uint64_t id_;
+};
+
+/// Transient-failure retry policy ([resilience] config section).
+struct RetryPolicy {
+  std::uint32_t max_retries = 0;  ///< Extra attempts after the first failure.
+  std::uint32_t backoff_ms = 100; ///< Base delay; doubles per retry.
+};
+
+/// Exponential backoff with a 2^16 cap on the multiplier (keeps the shift
+/// defined and the wait bounded): base * 2^attempt.
+std::uint64_t next_backoff_ms(std::uint32_t attempt, std::uint32_t backoff_ms) noexcept;
+
+/// Runs `fn`, retrying transient failures per `policy` with exponential
+/// backoff. DeadlineExceeded is never retried. `on_retry(attempt, delay_ms)`
+/// (optional) observes each retry — the sweep runner uses it to tick the
+/// `resilience.retries` counter. The final failure propagates.
+template <typename Fn, typename OnRetry>
+auto with_retries(const RetryPolicy& policy, Fn&& fn, OnRetry&& on_retry)
+    -> decltype(fn()) {
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    try {
+      return fn();
+    } catch (const DeadlineExceeded&) {
+      throw;  // a blown budget is not transient
+    } catch (...) {
+      if (attempt >= policy.max_retries) throw;
+      const std::uint64_t delay = next_backoff_ms(attempt, policy.backoff_ms);
+      on_retry(attempt, delay);
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      }
+    }
+  }
+}
+
+}  // namespace esteem::resilience

@@ -26,8 +26,9 @@ std::string figure_report(const SweepResult& result, const std::string& title) {
     std::vector<std::string> cells{row.workload};
     if (!row.completed) {
       // Errored workload: flag it instead of reading incomplete comparisons.
+      // An interrupted (shutdown-skipped) workload was never evaluated.
       for (std::size_t i = 0; i < result.techniques.size(); ++i) {
-        cells.push_back("ERROR");
+        cells.push_back(row.skipped ? "SKIPPED" : "ERROR");
         cells.push_back("-");
         cells.push_back("-");
         if (result.techniques[i] == Technique::Esteem) {
@@ -68,6 +69,12 @@ std::string figure_report(const SweepResult& result, const std::string& title) {
 
   std::ostringstream os;
   os << title << '\n' << table.to_string();
+  if (result.interrupted) {
+    std::size_t skipped = 0;
+    for (const WorkloadRow& row : result.rows) skipped += row.skipped ? 1 : 0;
+    os << "interrupted: shutdown requested; " << skipped
+       << " workload(s) skipped (resume with --resume)\n";
+  }
   if (!result.errors.empty()) {
     os << "errors (" << result.errors.size() << "):\n";
     for (const RunError& e : result.errors) {

@@ -8,7 +8,9 @@
 #include <future>
 #include <utility>
 
+#include "common/bytes.hpp"
 #include "common/env.hpp"
+#include "resilience/crc32.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace esteem::sim {
@@ -39,73 +41,13 @@ constexpr std::uint64_t kMemoMagic = 0x314F4D454D534525ULL;  // "%ESMEMO1"
 // Bump whenever the fingerprint layout, the serialized RunOutcome layout, or
 // simulator behaviour changes: stale memo files then read as misses.
 // v2: EnergyScaleConfig joined the fingerprint.
-constexpr std::uint32_t kMemoFormatVersion = 2;
+// v3: CRC32 over the payload joined the header (self-healing memo files).
+constexpr std::uint32_t kMemoFormatVersion = 3;
 
-/// Append-only byte writer with a fixed little-endian field encoding; the
-/// same encoding produces both fingerprints and memo-file payloads.
-class ByteWriter {
- public:
-  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
-  void u32(std::uint32_t v) { u64(v); }
-  void u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-  }
-  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
-  void str(const std::string& s) {
-    u64(s.size());
-    buf_.append(s);
-  }
-  std::string take() { return std::move(buf_); }
-
- private:
-  std::string buf_;
-};
-
-/// Bounds-checked reader over a memo-file payload; every getter reports
-/// truncation instead of reading past the end.
-class ByteReader {
- public:
-  explicit ByteReader(const std::string& buf) : buf_(buf) {}
-
-  bool u8(std::uint8_t& v) {
-    if (pos_ + 1 > buf_.size()) return false;
-    v = static_cast<std::uint8_t>(buf_[pos_++]);
-    return true;
-  }
-  bool u32(std::uint32_t& v) {
-    std::uint64_t wide = 0;
-    if (!u64(wide)) return false;
-    v = static_cast<std::uint32_t>(wide);
-    return true;
-  }
-  bool u64(std::uint64_t& v) {
-    if (pos_ + 8 > buf_.size()) return false;
-    v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf_[pos_ + i])) << (8 * i);
-    }
-    pos_ += 8;
-    return true;
-  }
-  bool f64(double& v) {
-    std::uint64_t bits = 0;
-    if (!u64(bits)) return false;
-    v = std::bit_cast<double>(bits);
-    return true;
-  }
-  bool str(std::string& s) {
-    std::uint64_t n = 0;
-    if (!u64(n) || pos_ + n > buf_.size()) return false;
-    s.assign(buf_, pos_, n);
-    pos_ += n;
-    return true;
-  }
-  bool done() const noexcept { return pos_ == buf_.size(); }
-
- private:
-  const std::string& buf_;
-  std::size_t pos_ = 0;
-};
+// Memo file layout: magic u64 | version u32 | crc u32 | payload, with the
+// two u32s in the shared 8-byte encoding — a 24-byte header, then the
+// CRC-protected payload (fingerprint string + serialized outcome).
+constexpr std::size_t kMemoHeaderBytes = 24;
 
 void write_outcome(ByteWriter& w, const RunOutcome& o) {
   const cpu::RawRunResult& r = o.raw;
@@ -218,6 +160,12 @@ std::filesystem::path memo_path(const std::string& dir, std::uint64_t hash) {
 }
 
 }  // namespace
+
+std::uint64_t outcome_digest(const RunOutcome& outcome) {
+  ByteWriter w;
+  write_outcome(w, outcome);
+  return fingerprint_hash(w.take());
+}
 
 std::string run_spec_fingerprint(const RunSpec& spec) {
   ByteWriter w;
@@ -378,19 +326,47 @@ bool RunCache::load_from_disk(std::uint64_t hash, const std::string& fingerprint
   if (dir.empty()) return false;
 
   std::ifstream in(memo_path(dir, hash), std::ios::binary);
-  if (!in.good()) return false;
+  if (!in.good()) return false;  // no file: a plain miss, nothing to heal
   std::string buf((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
 
   ByteReader rd(buf);
   std::uint64_t magic = 0;
   std::uint32_t version = 0;
-  std::string stored_fp;
-  if (!rd.u64(magic) || magic != kMemoMagic) return false;
-  if (!rd.u32(version) || version != kMemoFormatVersion) return false;
-  if (!rd.str(stored_fp) || stored_fp != fingerprint) return false;  // collision/stale
+  std::uint32_t stored_crc = 0;
+  if (!rd.u64(magic) || magic != kMemoMagic) {
+    quarantine_file(dir, hash, "bad magic");
+    return false;
+  }
+  if (!rd.u32(version)) {
+    quarantine_file(dir, hash, "truncated header");
+    return false;
+  }
+  if (version != kMemoFormatVersion) {
+    // A stale format is expected after an upgrade, not damage: quarantine
+    // still applies (the file can never load again) but the reason says so.
+    quarantine_file(dir, hash, "stale format version");
+    return false;
+  }
+  if (!rd.u32(stored_crc)) {
+    quarantine_file(dir, hash, "truncated header");
+    return false;
+  }
+  if (resilience::crc32(buf.data() + kMemoHeaderBytes, buf.size() - kMemoHeaderBytes) !=
+      stored_crc) {
+    quarantine_file(dir, hash, "payload checksum mismatch");
+    return false;
+  }
 
+  std::string stored_fp;
   auto outcome = std::make_shared<RunOutcome>();
-  if (!read_outcome(rd, *outcome)) return false;
+  if (!rd.str(stored_fp) || !read_outcome(rd, *outcome)) {
+    // The CRC matched, so the bytes are what the writer produced — a decode
+    // failure here means a writer/reader skew within one format version.
+    quarantine_file(dir, hash, "undecodable payload");
+    return false;
+  }
+  if (stored_fp != fingerprint) return false;  // hash collision: honest miss
 
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -398,6 +374,25 @@ bool RunCache::load_from_disk(std::uint64_t hash, const std::string& fingerprint
   }
   out = std::move(outcome);
   return true;
+}
+
+void RunCache::quarantine_file(const std::string& dir, std::uint64_t hash,
+                               const char* reason) const {
+  const std::filesystem::path bad = memo_path(dir, hash);
+  const std::filesystem::path corral = std::filesystem::path(dir) / "corrupt";
+  std::error_code ec;
+  std::filesystem::create_directories(corral, ec);
+  if (!ec) std::filesystem::rename(bad, corral / bad.filename(), ec);
+  if (ec) std::filesystem::remove(bad, ec);  // can't move it aside: drop it
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.quarantined;
+  }
+  if (telemetry::active()) {
+    telemetry::registry().counter("memo.quarantined").add();
+  }
+  std::fprintf(stderr, "memo: quarantined %s (%s); recomputing\n",
+               bad.filename().string().c_str(), reason);
 }
 
 void RunCache::store_to_disk(std::uint64_t hash, const std::string& fingerprint,
@@ -409,12 +404,16 @@ void RunCache::store_to_disk(std::uint64_t hash, const std::string& fingerprint,
   std::filesystem::create_directories(dir, ec);
   if (ec) return;  // persistence is best-effort; the in-memory entry stands
 
+  ByteWriter payload_w;
+  payload_w.str(fingerprint);
+  write_outcome(payload_w, outcome);
+  const std::string payload = payload_w.take();
+
   ByteWriter w;
   w.u64(kMemoMagic);
   w.u32(kMemoFormatVersion);
-  w.str(fingerprint);
-  write_outcome(w, outcome);
-  const std::string payload = w.take();
+  w.u32(resilience::crc32(payload));
+  const std::string file = w.take() + payload;
 
   // Write-then-rename so concurrent bench processes never observe a torn
   // memo file.
@@ -424,14 +423,37 @@ void RunCache::store_to_disk(std::uint64_t hash, const std::string& fingerprint,
   {
     std::ofstream outf(tmp, std::ios::binary | std::ios::trunc);
     if (!outf.good()) return;
-    outf.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-    if (!outf.good()) return;
+    outf.write(file.data(), static_cast<std::streamsize>(file.size()));
+    if (!outf.good()) {
+      outf.close();
+      std::filesystem::remove(tmp, ec);
+      note_store_error("short write");
+      return;
+    }
   }
   std::filesystem::rename(tmp, final_path, ec);
-  if (!ec) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.disk_stores;
+  if (ec) {
+    // A failed rename used to be silently swallowed, stranding the .tmp
+    // file. Clean it up and make the failure observable.
+    std::error_code rm_ec;
+    std::filesystem::remove(tmp, rm_ec);
+    note_store_error(ec.message().c_str());
+    return;
   }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.disk_stores;
+}
+
+void RunCache::note_store_error(const char* reason) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.store_errors;
+  }
+  if (telemetry::active()) {
+    telemetry::registry().counter("memo.store_errors").add();
+  }
+  std::fprintf(stderr, "memo: store failed (%s); outcome kept in memory only\n",
+               reason);
 }
 
 }  // namespace esteem::sim

@@ -15,10 +15,13 @@
 // calling set_disk_dir) spills every computed outcome to
 // `esteem-memo-<hash>.bin` and reloads it in later processes, so
 // regenerating a figure after the first run costs file reads, not
-// simulation. Files embed the full fingerprint and a format version; any
-// mismatch (hash collision, stale format) is treated as a miss. Delete the
-// directory after changing simulator behaviour — the fingerprint hashes
-// inputs, not code.
+// simulation. Files carry a magic, a format version, and a CRC32 over the
+// payload; a hash collision or a stale format reads as a plain miss, while
+// a *damaged* file (truncated, bit-flipped, bad magic) is self-healing:
+// it is quarantined to `<dir>/corrupt/`, counted in stats().quarantined
+// and the `memo.quarantined` telemetry counter, and the outcome is
+// transparently recomputed and re-stored. Delete the directory after
+// changing simulator behaviour — the fingerprint hashes inputs, not code.
 #pragma once
 
 #include <cstdint>
@@ -39,11 +42,18 @@ std::string run_spec_fingerprint(const RunSpec& spec);
 /// log lines.
 std::uint64_t fingerprint_hash(const std::string& fingerprint);
 
+/// FNV-1a over the canonical serialized form of a RunOutcome. Journal
+/// records carry this digest so a resume can assert that a replayed row
+/// matches what the interrupted process computed, bit for bit.
+std::uint64_t outcome_digest(const RunOutcome& outcome);
+
 struct RunCacheStats {
-  std::uint64_t hits = 0;         ///< Served from the in-process map.
-  std::uint64_t misses = 0;       ///< Keys that had to be resolved.
-  std::uint64_t disk_hits = 0;    ///< Misses satisfied by a memo file.
-  std::uint64_t disk_stores = 0;  ///< Outcomes spilled to disk.
+  std::uint64_t hits = 0;          ///< Served from the in-process map.
+  std::uint64_t misses = 0;        ///< Keys that had to be resolved.
+  std::uint64_t disk_hits = 0;     ///< Misses satisfied by a memo file.
+  std::uint64_t disk_stores = 0;   ///< Outcomes spilled to disk.
+  std::uint64_t quarantined = 0;   ///< Damaged memo files moved to corrupt/.
+  std::uint64_t store_errors = 0;  ///< Failed write-then-rename spills.
 
   std::uint64_t lookups() const noexcept { return hits + misses; }
 };
@@ -86,6 +96,12 @@ class RunCache {
                       OutcomePtr& out) const;
   void store_to_disk(std::uint64_t hash, const std::string& fingerprint,
                      const RunOutcome& outcome);
+  /// Moves a damaged memo file into `<dir>/corrupt/` (removes it when the
+  /// move fails) and counts the event; the caller then recomputes.
+  void quarantine_file(const std::string& dir, std::uint64_t hash,
+                       const char* reason) const;
+  /// Counts a failed spill (stats, telemetry, stderr).
+  void note_store_error(const char* reason);
 
   mutable std::mutex mutex_;
   std::unordered_map<std::string, std::shared_future<OutcomePtr>> map_;

@@ -1,5 +1,6 @@
 #include "sim/runner.hpp"
 
+#include <atomic>
 #include <future>
 #include <latch>
 #include <memory>
@@ -7,7 +8,10 @@
 #include <stdexcept>
 
 #include "common/stats.hpp"
+#include "resilience/shutdown.hpp"
+#include "resilience/watchdog.hpp"
 #include "sim/run_cache.hpp"
+#include "sim/sweep_journal.hpp"
 #include "sim/task_pool.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -46,6 +50,13 @@ struct WorkloadTaskState {
   std::shared_future<std::shared_ptr<const RunOutcome>> baseline;
   std::optional<RunError> baseline_error;
   std::vector<std::optional<RunError>> technique_errors;
+  /// Set when any of this workload's tasks was drained without running
+  /// because shutdown was requested.
+  std::atomic<bool> skipped{false};
+  /// Technique tasks still outstanding; the task that takes it to zero
+  /// journals the completed row (all sibling writes are visible to it via
+  /// the acq_rel decrement).
+  std::atomic<std::size_t> remaining{0};
 };
 
 RunSpec make_run_spec(const SweepSpec& spec, const trace::Workload& workload,
@@ -60,14 +71,51 @@ RunSpec make_run_spec(const SweepSpec& spec, const trace::Workload& workload,
   return rs;
 }
 
-RunError to_run_error(const std::string& workload, const std::string& phase) {
+RunError to_run_error(const std::string& workload, const std::string& technique) {
   try {
     throw;
+  } catch (const resilience::DeadlineExceeded& e) {
+    return RunError{workload, technique, e.what(), "deadline"};
   } catch (const std::exception& e) {
-    return RunError{workload, phase, e.what()};
+    return RunError{workload, technique, e.what(), "run"};
   } catch (...) {
-    return RunError{workload, phase, "unknown exception"};
+    return RunError{workload, technique, "unknown exception", "run"};
   }
+}
+
+/// run_experiment_cached under the sweep's resilience policy: a watchdog
+/// deadline per attempt (a late result is discarded and surfaces as
+/// DeadlineExceeded -> RunError{phase="deadline"}), transient failures
+/// retried with capped exponential backoff, and — when a journal is
+/// attached — a durable (fingerprint -> outcome digest) audit record per
+/// completed run.
+std::shared_ptr<const RunOutcome> run_guarded(const RunSpec& rs, const std::string& label,
+                                              SweepJournal* journal) {
+  const ResilienceConfig& rc = rs.config.resilience;
+  const resilience::RetryPolicy policy{rc.max_retries, rc.backoff_ms};
+  auto outcome = resilience::with_retries(
+      policy,
+      [&]() -> std::shared_ptr<const RunOutcome> {
+        resilience::WatchdogGuard guard(label, rc.run_deadline_ms);
+        auto out = run_experiment_cached(rs);
+        if (guard.expired()) {
+          // The outcome exists (and stays memoized for a future, more
+          // generous attempt) but arrived past the budget: discard it so a
+          // hung run fails the same way whether or not it ever returns.
+          throw resilience::DeadlineExceeded(label, rc.run_deadline_ms);
+        }
+        return out;
+      },
+      [](std::uint32_t, std::uint64_t) {
+        if (telemetry::active()) {
+          telemetry::registry().counter("resilience.retries").add();
+        }
+      });
+  if (journal != nullptr) {
+    journal->append_run(fingerprint_hash(run_spec_fingerprint(rs)),
+                        outcome_digest(*outcome));
+  }
+  return outcome;
 }
 
 }  // namespace
@@ -86,6 +134,12 @@ SweepResult run_sweep(const SweepSpec& spec) {
   const std::size_t n_workloads = spec.workloads.size();
   const std::size_t n_techniques = spec.techniques.size();
 
+  if (spec.resume != nullptr &&
+      (spec.resume->sweep_hash != sweep_fingerprint_hash(spec) ||
+       spec.resume->n_techniques != n_techniques)) {
+    throw std::invalid_argument("run_sweep: resume state is for a different sweep");
+  }
+
   SweepResult result;
   result.techniques = spec.techniques;
   result.rows.resize(n_workloads);
@@ -93,35 +147,63 @@ SweepResult run_sweep(const SweepSpec& spec) {
   // Every (workload, technique) cell has a preallocated slot written by
   // exactly one task, so the threaded schedule produces bit-identical rows
   // to the inline (threads = 1) schedule regardless of completion order.
+  // Workloads found in the resume state are restored bit-exactly from their
+  // journaled bytes and never scheduled.
   std::vector<std::unique_ptr<WorkloadTaskState>> states;
   states.reserve(n_workloads);
+  std::size_t scheduled = 0;
   for (std::size_t i = 0; i < n_workloads; ++i) {
-    result.rows[i].workload = spec.workloads[i].name;
-    result.rows[i].comparisons.assign(n_techniques, TechniqueComparison{});
+    WorkloadRow& row = result.rows[i];
+    row.workload = spec.workloads[i].name;
+    if (const auto* restored =
+            spec.resume != nullptr ? spec.resume->find(row.workload) : nullptr) {
+      row.comparisons = *restored;
+      row.completed = true;
+      row.resumed = true;
+      states.push_back(nullptr);
+      if (telemetry::active()) telemetry::registry().counter("sweep.resumed_rows").add();
+      continue;
+    }
+    row.comparisons.assign(n_techniques, TechniqueComparison{});
     auto state = std::make_unique<WorkloadTaskState>();
     state->baseline = state->baseline_promise.get_future().share();
     state->technique_errors.resize(n_techniques);
+    state->remaining.store(n_techniques, std::memory_order_relaxed);
     states.push_back(std::move(state));
+    ++scheduled;
   }
 
   // One unit per scheduled task: baseline + every technique of the workload.
-  // A failed baseline retires its techniques' units without scheduling them.
-  std::latch done(static_cast<std::ptrdiff_t>(n_workloads * (1 + n_techniques)));
+  // A failed (or shutdown-skipped) baseline retires its techniques' units
+  // without scheduling them.
+  std::latch done(static_cast<std::ptrdiff_t>(scheduled * (1 + n_techniques)));
 
   const unsigned resolved = TaskPool::resolve_threads(spec.threads);
   TaskPool pool(std::min<unsigned>(
-      resolved, static_cast<unsigned>(n_workloads * (1 + n_techniques))));
+      resolved, static_cast<unsigned>(scheduled * (1 + n_techniques))));
 
   for (std::size_t wi = 0; wi < n_workloads; ++wi) {
+    if (states[wi] == nullptr) continue;  // restored from the journal
     pool.submit([&spec, &result, &states, &pool, &done, wi, n_techniques] {
       const trace::Workload& workload = spec.workloads[wi];
       WorkloadTaskState& state = *states[wi];
+
+      // Graceful shutdown: queued tasks drain without executing, so the
+      // pool empties, completed rows stay journaled, and the caller reports
+      // the sweep as interrupted.
+      if (resilience::shutdown_requested()) {
+        state.skipped.store(true, std::memory_order_relaxed);
+        state.baseline_promise.set_value(nullptr);
+        done.count_down(static_cast<std::ptrdiff_t>(1 + n_techniques));
+        return;
+      }
       const TaskSpan span("baseline:" + workload.name);
 
       std::shared_ptr<const RunOutcome> base;
       try {
-        base = run_experiment_cached(
-            make_run_spec(spec, workload, Technique::BaselinePeriodicAll));
+        base = run_guarded(
+            make_run_spec(spec, workload, Technique::BaselinePeriodicAll),
+            "baseline:" + workload.name, spec.journal);
       } catch (...) {
         state.baseline_error = to_run_error(workload.name, "baseline");
       }
@@ -136,15 +218,34 @@ SweepResult run_sweep(const SweepSpec& spec) {
           const trace::Workload& wl = spec.workloads[wi];
           const Technique technique = spec.techniques[ti];
           WorkloadTaskState& st = *states[wi];
+          if (resilience::shutdown_requested()) {
+            st.skipped.store(true, std::memory_order_relaxed);
+            st.remaining.fetch_sub(1, std::memory_order_acq_rel);
+            done.count_down();
+            return;
+          }
           const TaskSpan span(std::string(to_string(technique)) + ":" + wl.name);
           try {
             const std::shared_ptr<const RunOutcome> baseline = st.baseline.get();
-            const std::shared_ptr<const RunOutcome> tech =
-                run_experiment_cached(make_run_spec(spec, wl, technique));
+            const std::shared_ptr<const RunOutcome> tech = run_guarded(
+                make_run_spec(spec, wl, technique),
+                std::string(to_string(technique)) + ":" + wl.name, spec.journal);
             result.rows[wi].comparisons[ti] = compare(wl.name, technique, *baseline, *tech);
           } catch (...) {
             st.technique_errors[ti] =
                 to_run_error(wl.name, std::string(to_string(technique)));
+          }
+          // The task that retires the workload's last technique journals the
+          // row — but only a fully clean one, so an errored or interrupted
+          // workload re-runs on resume.
+          if (st.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+              spec.journal != nullptr &&
+              !st.skipped.load(std::memory_order_relaxed) && !st.baseline_error) {
+            bool clean = true;
+            for (const std::optional<RunError>& e : st.technique_errors) {
+              if (e) clean = false;
+            }
+            if (clean) spec.journal->append_row(result.rows[wi]);
           }
           done.count_down();
         });
@@ -156,8 +257,16 @@ SweepResult run_sweep(const SweepSpec& spec) {
 
   // Deterministic error report: workload order, first failing phase per
   // workload (baseline outranks techniques, techniques in spec order).
+  // Shutdown-skipped workloads carry no error — they simply re-run on
+  // resume.
   for (std::size_t wi = 0; wi < n_workloads; ++wi) {
+    if (states[wi] == nullptr) continue;  // restored row, already completed
     WorkloadTaskState& state = *states[wi];
+    if (state.skipped.load(std::memory_order_relaxed)) {
+      result.rows[wi].skipped = true;
+      result.interrupted = true;
+      continue;
+    }
     std::optional<RunError> first = std::move(state.baseline_error);
     for (std::size_t ti = 0; !first && ti < n_techniques; ++ti) {
       first = std::move(state.technique_errors[ti]);
@@ -168,6 +277,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
       result.rows[wi].completed = true;
     }
   }
+  if (resilience::shutdown_requested()) result.interrupted = true;
   return result;
 }
 

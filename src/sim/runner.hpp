@@ -19,6 +19,9 @@
 
 namespace esteem::sim {
 
+class SweepJournal;
+struct SweepResumeState;
+
 struct SweepSpec {
   SystemConfig config;
   std::vector<trace::Workload> workloads;
@@ -29,6 +32,13 @@ struct SweepSpec {
   instr_t warmup_instr_per_core = 0;
   /// 0 = use hardware concurrency.
   unsigned threads = 0;
+  /// Optional crash-safe journal (sim/sweep_journal.hpp): every completed
+  /// workload row is appended (and fsync'd) the moment its last technique
+  /// finishes. Not owned.
+  SweepJournal* journal = nullptr;
+  /// Optional resume state loaded from a prior journal: workloads found
+  /// there are restored bit-exactly instead of re-run. Not owned.
+  const SweepResumeState* resume = nullptr;
 };
 
 struct WorkloadRow {
@@ -39,6 +49,11 @@ struct WorkloadRow {
   /// False when any of this workload's runs threw (see SweepResult::errors
   /// for the first failing phase).
   bool completed = false;
+  /// True when the row was never evaluated because shutdown was requested
+  /// mid-sweep; such rows carry no error and re-run on resume.
+  bool skipped = false;
+  /// True when the row was restored from a resume journal instead of run.
+  bool resumed = false;
 };
 
 /// One failed workload evaluation, recorded instead of terminating the sweep.
@@ -46,14 +61,20 @@ struct RunError {
   std::string workload;
   std::string technique;  ///< Technique running when the exception escaped.
   std::string what;       ///< exception::what().
+  /// Failure class: "run" for an exception escaping the simulation,
+  /// "deadline" for a watchdog wall-clock overrun.
+  std::string phase = "run";
 };
 
 struct SweepResult {
   std::vector<Technique> techniques;
   std::vector<WorkloadRow> rows;
   std::vector<RunError> errors;  ///< One entry per failed workload.
+  /// True when a shutdown request (SIGINT/SIGTERM or request_shutdown())
+  /// cut the sweep short; skipped rows mark the unevaluated workloads.
+  bool interrupted = false;
 
-  bool ok() const noexcept { return errors.empty(); }
+  bool ok() const noexcept { return errors.empty() && !interrupted; }
 
   /// Paper-style averages over completed workloads for one technique:
   /// speedups are geometric means; every other metric is an arithmetic mean

@@ -1,0 +1,190 @@
+#include "sim/sweep_journal.hpp"
+
+#include <cstdio>
+
+#include "common/bytes.hpp"
+#include "sim/run_cache.hpp"
+
+namespace esteem::sim {
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool parse_hex64(const std::string& s, std::uint64_t& out) {
+  if (s.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    std::uint64_t nib = 0;
+    if (c >= '0' && c <= '9') nib = static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') nib = static_cast<std::uint64_t>(c - 'a' + 10);
+    else return false;
+    v = (v << 4) | nib;
+  }
+  out = v;
+  return true;
+}
+
+void write_comparison(ByteWriter& w, const TechniqueComparison& c) {
+  w.str(c.workload);
+  w.u32(static_cast<std::uint32_t>(c.technique));
+  w.f64(c.energy_saving_pct);
+  w.f64(c.weighted_speedup);
+  w.f64(c.fair_speedup);
+  w.f64(c.rpki_base);
+  w.f64(c.rpki_tech);
+  w.f64(c.rpki_decrease);
+  w.f64(c.mpki_base);
+  w.f64(c.mpki_tech);
+  w.f64(c.mpki_increase);
+  w.f64(c.active_ratio_pct);
+  w.u64(c.ecc_corrected_reads);
+  w.u64(c.fault_refetches);
+  w.u64(c.fault_data_loss);
+  w.u64(c.fault_disabled_lines);
+  w.f64(c.correction_rpki);
+}
+
+bool read_comparison(ByteReader& rd, TechniqueComparison& c) {
+  std::uint32_t technique = 0;
+  const bool ok = rd.str(c.workload) && rd.u32(technique) &&
+                  rd.f64(c.energy_saving_pct) && rd.f64(c.weighted_speedup) &&
+                  rd.f64(c.fair_speedup) && rd.f64(c.rpki_base) &&
+                  rd.f64(c.rpki_tech) && rd.f64(c.rpki_decrease) &&
+                  rd.f64(c.mpki_base) && rd.f64(c.mpki_tech) &&
+                  rd.f64(c.mpki_increase) && rd.f64(c.active_ratio_pct) &&
+                  rd.u64(c.ecc_corrected_reads) && rd.u64(c.fault_refetches) &&
+                  rd.u64(c.fault_data_loss) && rd.u64(c.fault_disabled_lines) &&
+                  rd.f64(c.correction_rpki);
+  if (ok) c.technique = static_cast<Technique>(technique);
+  return ok;
+}
+
+}  // namespace
+
+std::uint64_t sweep_fingerprint_hash(const SweepSpec& spec) {
+  // Reuse the RunSpec fingerprint for the config/seed/budget part (an empty
+  // workload contributes nothing workload-specific), then append the
+  // technique list: two sweeps differing only in workloads hash equal.
+  RunSpec rs;
+  rs.config = spec.config;
+  rs.technique = Technique::BaselinePeriodicAll;
+  rs.seed = spec.seed;
+  rs.instr_per_core = spec.instr_per_core;
+  rs.warmup_instr_per_core = spec.warmup_instr_per_core;
+  ByteWriter w;
+  w.str(run_spec_fingerprint(rs));
+  w.u64(spec.techniques.size());
+  for (Technique t : spec.techniques) w.u32(static_cast<std::uint32_t>(t));
+  return fingerprint_hash(w.take());
+}
+
+std::string encode_comparisons(const std::vector<TechniqueComparison>& comparisons) {
+  ByteWriter w;
+  w.u64(comparisons.size());
+  for (const TechniqueComparison& c : comparisons) write_comparison(w, c);
+  return w.take();
+}
+
+bool decode_comparisons(const std::string& bytes, std::size_t n_techniques,
+                        std::vector<TechniqueComparison>& out) {
+  ByteReader rd(bytes);
+  std::uint64_t n = 0;
+  if (!rd.u64(n) || n != n_techniques) return false;
+  std::vector<TechniqueComparison> cs(n);
+  for (TechniqueComparison& c : cs) {
+    if (!read_comparison(rd, c)) return false;
+  }
+  if (!rd.done()) return false;
+  out = std::move(cs);
+  return true;
+}
+
+bool SweepJournal::open(const std::string& path, const SweepSpec& spec) {
+  if (!file_.open(path, /*truncate=*/false)) return false;
+  resilience::JournalRecord header;
+  header.kind = "sweep";
+  header.fields.emplace_back("hash", hex64(sweep_fingerprint_hash(spec)));
+  header.fields.emplace_back("ntech", std::to_string(spec.techniques.size()));
+  header.fields.emplace_back("seed", std::to_string(spec.seed));
+  header.fields.emplace_back("instr", std::to_string(spec.instr_per_core));
+  if (!file_.append(header)) {
+    file_.close();
+    return false;
+  }
+  return true;
+}
+
+bool SweepJournal::append_row(const WorkloadRow& row) {
+  resilience::JournalRecord rec;
+  rec.kind = "row";
+  rec.fields.emplace_back("workload", row.workload);
+  rec.fields.emplace_back("n", std::to_string(row.comparisons.size()));
+  rec.fields.emplace_back("data", to_hex(encode_comparisons(row.comparisons)));
+  return file_.append(rec);
+}
+
+bool SweepJournal::append_run(std::uint64_t fingerprint_hash, std::uint64_t digest) {
+  resilience::JournalRecord rec;
+  rec.kind = "run";
+  rec.fields.emplace_back("fp", hex64(fingerprint_hash));
+  rec.fields.emplace_back("digest", hex64(digest));
+  return file_.append(rec);
+}
+
+ResumeLoad load_resume_state(const std::string& path, const SweepSpec& spec) {
+  ResumeLoad result;
+  const resilience::JournalLoadResult raw = resilience::JournalFile::load(path);
+  if (!raw.exists) {
+    result.error = "journal: cannot read " + path;
+    return result;
+  }
+
+  const std::uint64_t want_hash = sweep_fingerprint_hash(spec);
+  SweepResumeState state;
+  state.sweep_hash = want_hash;
+  state.n_techniques = spec.techniques.size();
+  state.corrupt_lines = raw.corrupt_lines;
+  bool saw_header = false;
+
+  for (const resilience::JournalRecord& rec : raw.records) {
+    if (rec.kind == "sweep") {
+      std::uint64_t hash = 0;
+      if (!parse_hex64(rec.field("hash"), hash) || hash != want_hash) {
+        result.error =
+            "journal: " + path + " records a different sweep (config, "
+            "techniques, seed or budgets changed); refusing to resume";
+        return result;
+      }
+      if (rec.field("ntech") != std::to_string(spec.techniques.size())) {
+        result.error = "journal: " + path + " technique count mismatch";
+        return result;
+      }
+      saw_header = true;
+    } else if (rec.kind == "row") {
+      const auto bytes = from_hex(rec.field("data"));
+      std::vector<TechniqueComparison> cs;
+      if (!bytes || rec.field("n") != std::to_string(spec.techniques.size()) ||
+          !decode_comparisons(*bytes, spec.techniques.size(), cs)) {
+        ++state.corrupt_lines;  // undecodable row: re-run that workload
+        continue;
+      }
+      state.rows[rec.field("workload")] = std::move(cs);  // latest wins
+    }
+    // "run" audit records carry no resume state.
+  }
+
+  if (!saw_header) {
+    result.error = "journal: " + path + " has no intact sweep header";
+    return result;
+  }
+  result.ok = true;
+  result.state = std::move(state);
+  return result;
+}
+
+}  // namespace esteem::sim

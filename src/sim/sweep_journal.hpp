@@ -1,0 +1,91 @@
+// Crash-safe sweep journal: the sim-layer schema on top of the generic
+// resilience::JournalFile (append-only, fsync'd, per-line CRC32 JSONL).
+//
+// The journal lives next to the sweep's output (`<out>.journal` by
+// convention) and records, in completion order:
+//
+//   {"v":1,"kind":"sweep","hash":"<%016llx>","ntech":"2","seed":"42",...}
+//   {"v":1,"kind":"run","fp":"<%016llx>","digest":"<%016llx>","crc":...}
+//   {"v":1,"kind":"row","workload":"gamess","n":"2","data":"<hex>","crc":...}
+//
+// * `sweep` identifies the sweep: a hash over everything that determines a
+//   row's bytes (config, techniques, seed, budgets) EXCEPT the workload
+//   list, so a journal written while sweeping a subset of workloads can
+//   seed a resume over a superset. A resume refuses a journal whose hash
+//   differs — results from a different configuration must never leak in.
+// * `run` is the audit trail: one (RunSpec fingerprint hash -> RunOutcome
+//   digest) pair per simulation that completed.
+// * `row` carries the full per-workload TechniqueComparison vector in the
+//   canonical byte encoding (common/bytes.hpp), hex-armored. Restoring a
+//   row replays these bytes, so a resumed sweep's CSV/report/summary is
+//   bit-identical to an uninterrupted one.
+//
+// Torn tails (a crash mid-append) and flipped bits fail the line CRC and
+// are skipped and counted — at most the in-flight row is lost, never the
+// journal.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "resilience/journal_file.hpp"
+#include "sim/runner.hpp"
+
+namespace esteem::sim {
+
+/// Stable identity of a sweep for resume matching (see file comment for why
+/// the workload list is excluded).
+std::uint64_t sweep_fingerprint_hash(const SweepSpec& spec);
+
+/// Canonical byte encoding of one row's comparison vector (hex-armored into
+/// `row` records); exposed for tests.
+std::string encode_comparisons(const std::vector<TechniqueComparison>& comparisons);
+bool decode_comparisons(const std::string& bytes, std::size_t n_techniques,
+                        std::vector<TechniqueComparison>& out);
+
+class SweepJournal {
+ public:
+  /// Opens `path` for appending and records the sweep header. An existing
+  /// journal is extended, not truncated — resuming appends to the same file.
+  bool open(const std::string& path, const SweepSpec& spec);
+  void close() { file_.close(); }
+  bool is_open() const { return file_.is_open(); }
+  const std::string& path() const { return file_.path(); }
+  std::string last_error() const { return file_.last_error(); }
+
+  /// Appends one completed workload row (durable before return).
+  bool append_row(const WorkloadRow& row);
+  /// Appends one (fingerprint hash -> outcome digest) audit record.
+  bool append_run(std::uint64_t fingerprint_hash, std::uint64_t digest);
+
+ private:
+  resilience::JournalFile file_;
+};
+
+/// Rows recovered from a journal, keyed by workload name.
+struct SweepResumeState {
+  std::uint64_t sweep_hash = 0;
+  std::size_t n_techniques = 0;
+  std::map<std::string, std::vector<TechniqueComparison>> rows;
+  std::size_t corrupt_lines = 0;  ///< CRC-failed/undecodable lines skipped.
+
+  const std::vector<TechniqueComparison>* find(const std::string& workload) const {
+    const auto it = rows.find(workload);
+    return it == rows.end() ? nullptr : &it->second;
+  }
+};
+
+struct ResumeLoad {
+  bool ok = false;
+  SweepResumeState state;
+  std::string error;  ///< Set when !ok (missing file, sweep mismatch, ...).
+};
+
+/// Loads a journal for resuming `spec`. Fails when the file is missing or
+/// records a different sweep; damaged lines are skipped and counted, and a
+/// later `row` for the same workload supersedes an earlier one.
+ResumeLoad load_resume_state(const std::string& path, const SweepSpec& spec);
+
+}  // namespace esteem::sim

@@ -119,6 +119,94 @@ TEST(ConfigIo, ValidatesLoadedValues) {
   EXPECT_THROW(load_config(ss), std::invalid_argument);
 }
 
+TEST(ConfigIo, ParseErrorsCarryLineNumbers) {
+  {
+    std::stringstream ss("[esteem\nalpha = 0.97\n");
+    try {
+      load_config(ss);
+      FAIL() << "unterminated section header accepted";
+    } catch (const ConfigParseError& e) {
+      EXPECT_EQ(e.line(), 1u);
+      EXPECT_EQ(e.key(), "");
+      EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+    }
+  }
+  {
+    std::stringstream ss("# banner\n[esteem]\nalpha 0.97\n");
+    try {
+      load_config(ss);
+      FAIL() << "missing '=' accepted";
+    } catch (const ConfigParseError& e) {
+      EXPECT_EQ(e.line(), 3u);
+      EXPECT_NE(std::string(e.what()).find("key=value"), std::string::npos);
+    }
+  }
+  {
+    std::stringstream ss("[esteem]\nalfa = 0.97\n");
+    try {
+      load_config(ss);
+      FAIL() << "unknown key accepted";
+    } catch (const ConfigParseError& e) {
+      EXPECT_EQ(e.line(), 2u);
+      EXPECT_EQ(e.key(), "esteem.alfa");
+    }
+  }
+  {
+    // Bad values name the key, the offending value, and the line.
+    std::stringstream ss("[esteem]\n\nalpha = fast\n");
+    try {
+      load_config(ss);
+      FAIL() << "non-numeric value accepted";
+    } catch (const ConfigParseError& e) {
+      EXPECT_EQ(e.line(), 3u);
+      EXPECT_EQ(e.key(), "esteem.alpha");
+      const std::string what = e.what();
+      EXPECT_NE(what.find("'fast'"), std::string::npos);
+      EXPECT_NE(what.find("line 3"), std::string::npos);
+    }
+  }
+}
+
+TEST(ConfigIo, RejectsDuplicateKey) {
+  std::stringstream ss("[esteem]\nalpha = 0.9\nalpha = 0.95\n");
+  try {
+    load_config(ss);
+    FAIL() << "duplicate key accepted";
+  } catch (const ConfigParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_EQ(e.key(), "esteem.alpha");
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+  }
+}
+
+TEST(ConfigIo, ParseErrorIsAnInvalidArgument) {
+  // Pre-hardening call sites catch std::invalid_argument; the richer error
+  // must keep satisfying them.
+  std::stringstream ss("[esteem]\nalfa = 1\n");
+  EXPECT_THROW(load_config(ss), std::invalid_argument);
+}
+
+TEST(ConfigIo, RoundTripsResilienceSection) {
+  SystemConfig original;
+  original.resilience.run_deadline_ms = 120'000;
+  original.resilience.max_retries = 3;
+  original.resilience.backoff_ms = 250;
+
+  std::stringstream ss;
+  save_config(original, ss);
+  EXPECT_NE(ss.str().find("[resilience]"), std::string::npos);
+  const SystemConfig loaded = load_config(ss);
+  EXPECT_EQ(loaded.resilience.run_deadline_ms, 120'000u);
+  EXPECT_EQ(loaded.resilience.max_retries, 3u);
+  EXPECT_EQ(loaded.resilience.backoff_ms, 250u);
+
+  // Defaults: watchdog and retries off, sane backoff base.
+  const SystemConfig defaults;
+  EXPECT_EQ(defaults.resilience.run_deadline_ms, 0u);
+  EXPECT_EQ(defaults.resilience.max_retries, 0u);
+  EXPECT_EQ(defaults.resilience.backoff_ms, 100u);
+}
+
 TEST(ConfigIo, MissingFileThrows) {
   EXPECT_THROW(load_config_file("/nonexistent/esteem.ini"), std::invalid_argument);
 }

@@ -3,12 +3,14 @@
 
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 
 #include "sim/experiment.hpp"
 #include "sim/metrics.hpp"
 #include "sim/report.hpp"
 #include "sim/run_cache.hpp"
 #include "sim/runner.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace esteem::sim {
 namespace {
@@ -215,6 +217,94 @@ TEST(Sweep, SurvivesThrowingWorkloadThreaded) {
   EXPECT_TRUE(result.rows[1].completed);
   EXPECT_FALSE(result.rows[2].completed);
   EXPECT_NO_THROW(result.summary(Technique::RefrintRPV));
+}
+
+// Satellite of the bit-identity promise: the *failure* path is also
+// schedule-independent — same rows, same errors, same attribution, same
+// CSV bytes, whether the sweep ran serially or threaded.
+TEST(Sweep, FailurePathSerialAndThreadedAreIdentical) {
+  SweepSpec spec;
+  spec.config = tiny();
+  spec.workloads = {wl("gamess"), wl("no-such-benchmark"), wl("gobmk")};
+  spec.techniques = {Technique::Esteem, Technique::RefrintRPV};
+  spec.instr_per_core = 80'000;
+
+  spec.threads = 1;
+  RunCache::instance().clear();
+  const SweepResult serial = run_sweep(spec);
+  spec.threads = 4;
+  RunCache::instance().clear();
+  const SweepResult threaded = run_sweep(spec);
+
+  EXPECT_FALSE(serial.ok());
+  EXPECT_FALSE(threaded.ok());
+  ASSERT_EQ(serial.errors.size(), threaded.errors.size());
+  for (std::size_t e = 0; e < serial.errors.size(); ++e) {
+    EXPECT_EQ(serial.errors[e].workload, threaded.errors[e].workload);
+    EXPECT_EQ(serial.errors[e].technique, threaded.errors[e].technique);
+    EXPECT_EQ(serial.errors[e].phase, threaded.errors[e].phase);
+    EXPECT_EQ(serial.errors[e].what, threaded.errors[e].what);
+  }
+
+  ASSERT_EQ(serial.rows.size(), threaded.rows.size());
+  for (std::size_t w = 0; w < serial.rows.size(); ++w) {
+    EXPECT_EQ(serial.rows[w].completed, threaded.rows[w].completed);
+    if (!serial.rows[w].completed) continue;
+    ASSERT_EQ(serial.rows[w].comparisons.size(),
+              threaded.rows[w].comparisons.size());
+    for (std::size_t t = 0; t < serial.rows[w].comparisons.size(); ++t) {
+      EXPECT_EQ(serial.rows[w].comparisons[t].energy_saving_pct,
+                threaded.rows[w].comparisons[t].energy_saving_pct);
+      EXPECT_EQ(serial.rows[w].comparisons[t].weighted_speedup,
+                threaded.rows[w].comparisons[t].weighted_speedup);
+    }
+  }
+
+  const std::string serial_csv = "test_failure_serial.csv";
+  const std::string threaded_csv = "test_failure_threaded.csv";
+  write_csv(serial, serial_csv);
+  write_csv(threaded, threaded_csv);
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  EXPECT_EQ(slurp(serial_csv), slurp(threaded_csv));
+  std::filesystem::remove(serial_csv);
+  std::filesystem::remove(threaded_csv);
+}
+
+// A run that blows its [resilience] wall-clock budget surfaces as
+// RunError{phase="deadline"} instead of polluting the sweep with a
+// half-trusted row.
+TEST(Sweep, DeadlineOverrunSurfacesAsDeadlineError) {
+  SweepSpec spec;
+  spec.config = tiny();
+  spec.config.resilience.run_deadline_ms = 1;  // no simulation finishes in 1 ms
+  spec.workloads = {wl("gamess")};
+  spec.techniques = {Technique::RefrintRPV};
+  spec.instr_per_core = 600'000;
+  spec.threads = 1;
+  RunCache::instance().clear();  // a memoized hit could beat the deadline
+
+  // Overruns must also be visible as telemetry counters, not just errors.
+  telemetry::TelemetryConfig tcfg;
+  tcfg.dir =
+      (std::filesystem::temp_directory_path() / "esteem-deadline-telemetry").string();
+  telemetry::Telemetry::instance().configure(tcfg);
+
+  const SweepResult result = run_sweep(spec);
+  EXPECT_GE(telemetry::registry().value("resilience.deadline_exceeded"), 1.0);
+  telemetry::Telemetry::instance().configure({});
+
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_FALSE(result.rows[0].completed);
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_EQ(result.errors[0].workload, "gamess");
+  EXPECT_EQ(result.errors[0].phase, "deadline");
+  EXPECT_NE(result.errors[0].what.find("deadline"), std::string::npos);
+  RunCache::instance().clear();
 }
 
 TEST(Sweep, SummaryThrowsWhenNothingCompleted) {

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <functional>
 #include <string>
 
 #include "sim/experiment.hpp"
@@ -131,6 +133,15 @@ TEST(RunCache, ExceptionsAreNotCached) {
   EXPECT_EQ(cache.entries(), 0u);
 }
 
+TEST(RunCacheDigest, StableAndSensitive) {
+  const RunOutcome a = run_experiment(tiny_spec());
+  const RunOutcome b = run_experiment(tiny_spec());
+  EXPECT_EQ(outcome_digest(a), outcome_digest(b));  // deterministic simulator
+
+  const RunOutcome other = run_experiment(tiny_spec("gamess", Technique::RefrintRPV));
+  EXPECT_NE(outcome_digest(a), outcome_digest(other));
+}
+
 TEST(RunCache, DiskPersistenceRoundTrip) {
   namespace fs = std::filesystem;
   const fs::path dir = fs::temp_directory_path() / "esteem-memo-test";
@@ -156,6 +167,97 @@ TEST(RunCache, DiskPersistenceRoundTrip) {
   cache.set_disk_dir("");
   cache.clear();
   fs::remove_all(dir);
+}
+
+// Shared scaffolding for the self-healing tests: run once against a temp
+// memo dir, hand the single memo file to `damage`, then re-run and assert
+// the damaged file was quarantined and the outcome recomputed bit-exactly.
+void expect_quarantine_heals(
+    const std::string& scratch_name,
+    const std::function<void(const std::filesystem::path&)>& damage) {
+  namespace fs = std::filesystem;
+  // Per-test scratch dir: ctest runs each case as its own process, possibly
+  // concurrently, so a shared dir would be stomped mid-test.
+  const fs::path dir = fs::temp_directory_path() / scratch_name;
+  fs::remove_all(dir);
+
+  auto& cache = RunCache::instance();
+  cache.clear();
+  cache.set_disk_dir(dir.string());
+
+  const RunSpec spec = tiny_spec("libquantum");
+  const auto first = run_experiment_cached(spec);
+  ASSERT_NE(first, nullptr);
+  ASSERT_EQ(cache.stats().disk_stores, 1u);
+
+  fs::path memo_file;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) memo_file = entry.path();
+  }
+  ASSERT_FALSE(memo_file.empty());
+  damage(memo_file);
+
+  cache.clear();  // force the next lookup through the damaged file
+  const auto healed = run_experiment_cached(spec);
+  ASSERT_NE(healed, nullptr);
+  EXPECT_EQ(cache.stats().quarantined, 1u);
+  EXPECT_EQ(cache.stats().disk_hits, 0u);  // damaged file never served
+  EXPECT_EQ(cache.stats().disk_stores, 1u);  // recomputed and re-spilled
+  expect_same_outcome(*healed, *first);
+
+  // The damaged file was moved aside for post-mortem, not silently deleted
+  // (its original path now holds the freshly recomputed memo).
+  const fs::path corrupt_dir = dir / "corrupt";
+  ASSERT_TRUE(fs::exists(corrupt_dir));
+  EXPECT_FALSE(fs::is_empty(corrupt_dir));
+
+  // The healed store is valid: a third process-restart-equivalent lookup
+  // hits disk cleanly.
+  cache.clear();
+  const auto reloaded = run_experiment_cached(spec);
+  ASSERT_NE(reloaded, nullptr);
+  EXPECT_EQ(cache.stats().disk_hits, 1u);
+  EXPECT_EQ(cache.stats().quarantined, 0u);
+  expect_same_outcome(*reloaded, *first);
+
+  cache.set_disk_dir("");
+  cache.clear();
+  fs::remove_all(dir);
+}
+
+TEST(RunCacheHealing, TruncatedMemoIsQuarantinedAndRecomputed) {
+  expect_quarantine_heals("esteem-memo-heal-header", [](const std::filesystem::path& file) {
+    std::filesystem::resize_file(file, 10);  // tears through the header
+  });
+}
+
+TEST(RunCacheHealing, TruncatedPayloadFailsCrcAndHeals) {
+  expect_quarantine_heals("esteem-memo-heal-payload", [](const std::filesystem::path& file) {
+    const auto size = std::filesystem::file_size(file);
+    ASSERT_GT(size, 100u);
+    std::filesystem::resize_file(file, size - 17);  // header intact, payload torn
+  });
+}
+
+TEST(RunCacheHealing, BitFlippedMemoIsQuarantinedAndRecomputed) {
+  expect_quarantine_heals("esteem-memo-heal-bitflip", [](const std::filesystem::path& file) {
+    std::fstream io(file, std::ios::in | std::ios::out | std::ios::binary);
+    io.seekp(200, std::ios::beg);  // deep inside the CRC-protected payload
+    char byte = 0;
+    io.seekg(200, std::ios::beg);
+    io.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    io.seekp(200, std::ios::beg);
+    io.write(&byte, 1);
+  });
+}
+
+TEST(RunCacheHealing, BadMagicIsQuarantinedAndRecomputed) {
+  expect_quarantine_heals("esteem-memo-heal-magic", [](const std::filesystem::path& file) {
+    std::fstream io(file, std::ios::in | std::ios::out | std::ios::binary);
+    const char garbage[8] = {'n', 'o', 't', 'a', 'm', 'e', 'm', 'o'};
+    io.write(garbage, sizeof garbage);
+  });
 }
 
 }  // namespace

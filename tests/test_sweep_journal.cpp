@@ -1,0 +1,335 @@
+// Tests for the crash-safe sweep journal: row byte codec, sweep identity
+// hashing, journal-then-resume bit-identity, shutdown draining, and the
+// refuse-foreign-journal rule.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "resilience/shutdown.hpp"
+#include "sim/report.hpp"
+#include "sim/run_cache.hpp"
+#include "sim/runner.hpp"
+#include "sim/sweep_journal.hpp"
+
+namespace esteem::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+SystemConfig tiny() {
+  SystemConfig cfg = SystemConfig::single_core();
+  cfg.l1.geom = CacheGeometry{8ULL * 1024, 4, 64};
+  cfg.l2.geom = CacheGeometry{512ULL * 1024, 8, 64};
+  cfg.edram.retention_us = 5.0;
+  cfg.esteem.modules = 8;
+  cfg.esteem.interval_cycles = 100'000;
+  cfg.esteem.sampling_ratio = 32;
+  cfg.esteem.a_min = 2;
+  return cfg;
+}
+
+trace::Workload wl(const std::string& name) { return {name, {name}}; }
+
+SweepSpec tiny_sweep(std::vector<std::string> workloads) {
+  SweepSpec spec;
+  spec.config = tiny();
+  for (const std::string& w : workloads) spec.workloads.push_back(wl(w));
+  spec.techniques = {Technique::Esteem, Technique::RefrintRPV};
+  spec.instr_per_core = 100'000;
+  spec.warmup_instr_per_core = 20'000;
+  spec.threads = 1;
+  return spec;
+}
+
+TechniqueComparison sample_comparison(double salt) {
+  TechniqueComparison c;
+  c.workload = "mcf";
+  c.technique = Technique::RefrintRPV;
+  c.energy_saving_pct = 12.25 + salt;
+  c.weighted_speedup = 1.0625;
+  c.fair_speedup = 1.03125;
+  c.rpki_base = 400.5;
+  c.rpki_tech = 100.125;
+  c.rpki_decrease = 300.375;
+  c.mpki_base = 2.5;
+  c.mpki_tech = 2.75;
+  c.mpki_increase = 0.25;
+  c.active_ratio_pct = 87.5;
+  c.ecc_corrected_reads = 11;
+  c.fault_refetches = 22;
+  c.fault_data_loss = 33;
+  c.fault_disabled_lines = 44;
+  c.correction_rpki = 0.0078125;
+  return c;
+}
+
+void expect_same_comparison(const TechniqueComparison& a,
+                            const TechniqueComparison& b) {
+  EXPECT_EQ(a.workload, b.workload);
+  EXPECT_EQ(a.technique, b.technique);
+  // Exact double equality on purpose: the journal promises bit-identical
+  // restoration.
+  EXPECT_EQ(a.energy_saving_pct, b.energy_saving_pct);
+  EXPECT_EQ(a.weighted_speedup, b.weighted_speedup);
+  EXPECT_EQ(a.fair_speedup, b.fair_speedup);
+  EXPECT_EQ(a.rpki_base, b.rpki_base);
+  EXPECT_EQ(a.rpki_tech, b.rpki_tech);
+  EXPECT_EQ(a.rpki_decrease, b.rpki_decrease);
+  EXPECT_EQ(a.mpki_base, b.mpki_base);
+  EXPECT_EQ(a.mpki_tech, b.mpki_tech);
+  EXPECT_EQ(a.mpki_increase, b.mpki_increase);
+  EXPECT_EQ(a.active_ratio_pct, b.active_ratio_pct);
+  EXPECT_EQ(a.ecc_corrected_reads, b.ecc_corrected_reads);
+  EXPECT_EQ(a.fault_refetches, b.fault_refetches);
+  EXPECT_EQ(a.fault_data_loss, b.fault_data_loss);
+  EXPECT_EQ(a.fault_disabled_lines, b.fault_disabled_lines);
+  EXPECT_EQ(a.correction_rpki, b.correction_rpki);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(SweepJournalCodec, ComparisonsRoundTripBitExactly) {
+  const std::vector<TechniqueComparison> original{sample_comparison(0.0),
+                                                  sample_comparison(1.0)};
+  const std::string bytes = encode_comparisons(original);
+  std::vector<TechniqueComparison> decoded;
+  ASSERT_TRUE(decode_comparisons(bytes, 2, decoded));
+  ASSERT_EQ(decoded.size(), 2u);
+  expect_same_comparison(decoded[0], original[0]);
+  expect_same_comparison(decoded[1], original[1]);
+}
+
+TEST(SweepJournalCodec, RejectsWrongArityAndTruncation) {
+  const std::vector<TechniqueComparison> original{sample_comparison(0.0),
+                                                  sample_comparison(1.0)};
+  const std::string bytes = encode_comparisons(original);
+  std::vector<TechniqueComparison> decoded;
+  EXPECT_FALSE(decode_comparisons(bytes, 3, decoded));
+  EXPECT_FALSE(decode_comparisons(bytes.substr(0, bytes.size() / 2), 2, decoded));
+  EXPECT_FALSE(decode_comparisons("", 1, decoded));
+}
+
+TEST(SweepJournalHash, IgnoresWorkloadListOnly) {
+  const SweepSpec base = tiny_sweep({"gamess", "gobmk"});
+  const std::uint64_t h = sweep_fingerprint_hash(base);
+
+  // Sweeping a different workload subset is the SAME sweep: a journal from
+  // a partial run must be able to seed a superset resume.
+  EXPECT_EQ(sweep_fingerprint_hash(tiny_sweep({"gamess"})), h);
+  EXPECT_EQ(sweep_fingerprint_hash(tiny_sweep({"libquantum", "omnetpp"})), h);
+
+  // Everything that changes a row's bytes changes the hash.
+  SweepSpec s = tiny_sweep({"gamess", "gobmk"});
+  s.seed = 43;
+  EXPECT_NE(sweep_fingerprint_hash(s), h);
+
+  s = tiny_sweep({"gamess", "gobmk"});
+  s.instr_per_core += 1;
+  EXPECT_NE(sweep_fingerprint_hash(s), h);
+
+  s = tiny_sweep({"gamess", "gobmk"});
+  s.techniques = {Technique::RefrintRPV};
+  EXPECT_NE(sweep_fingerprint_hash(s), h);
+
+  s = tiny_sweep({"gamess", "gobmk"});
+  s.techniques = {Technique::RefrintRPV, Technique::Esteem};  // order matters
+  EXPECT_NE(sweep_fingerprint_hash(s), h);
+
+  s = tiny_sweep({"gamess", "gobmk"});
+  s.config.edram.retention_us += 1.0;
+  EXPECT_NE(sweep_fingerprint_hash(s), h);
+
+  // Thread count does NOT change row bytes (the runner promises
+  // schedule-independence), so it must not poison a resume.
+  s = tiny_sweep({"gamess", "gobmk"});
+  s.threads = 8;
+  EXPECT_EQ(sweep_fingerprint_hash(s), h);
+}
+
+TEST(SweepJournal, JournaledSweepRestoresRowsBitExactly) {
+  const fs::path path = fs::temp_directory_path() / "esteem-sweep-journal-1.jsonl";
+  fs::remove(path);
+
+  SweepSpec spec = tiny_sweep({"gamess", "gobmk"});
+  SweepJournal journal;
+  ASSERT_TRUE(journal.open(path.string(), spec));
+  spec.journal = &journal;
+  const SweepResult result = run_sweep(spec);
+  journal.close();
+  ASSERT_TRUE(result.ok());
+
+  const ResumeLoad resume = load_resume_state(path.string(), spec);
+  ASSERT_TRUE(resume.ok) << resume.error;
+  EXPECT_EQ(resume.state.sweep_hash, sweep_fingerprint_hash(spec));
+  EXPECT_EQ(resume.state.n_techniques, 2u);
+  EXPECT_EQ(resume.state.corrupt_lines, 0u);
+  ASSERT_EQ(resume.state.rows.size(), 2u);
+  for (const WorkloadRow& row : result.rows) {
+    const std::vector<TechniqueComparison>* restored =
+        resume.state.find(row.workload);
+    ASSERT_NE(restored, nullptr) << row.workload;
+    ASSERT_EQ(restored->size(), row.comparisons.size());
+    for (std::size_t t = 0; t < restored->size(); ++t) {
+      expect_same_comparison((*restored)[t], row.comparisons[t]);
+    }
+  }
+  EXPECT_EQ(resume.state.find("no-such-workload"), nullptr);
+  fs::remove(path);
+}
+
+TEST(SweepJournal, ResumeRefusesForeignJournalAndMissingFile) {
+  const fs::path path = fs::temp_directory_path() / "esteem-sweep-journal-2.jsonl";
+  fs::remove(path);
+
+  EXPECT_FALSE(load_resume_state(path.string(), tiny_sweep({"gamess"})).ok);
+
+  SweepSpec spec = tiny_sweep({"gamess"});
+  SweepJournal journal;
+  ASSERT_TRUE(journal.open(path.string(), spec));
+  journal.close();
+
+  // Same file, different sweep identity: results from another configuration
+  // must never leak into a resume.
+  SweepSpec other = tiny_sweep({"gamess"});
+  other.seed = 99;
+  const ResumeLoad load = load_resume_state(path.string(), other);
+  EXPECT_FALSE(load.ok);
+  EXPECT_NE(load.error.find("different sweep"), std::string::npos);
+
+  // The matching sweep is accepted (header only, no rows yet).
+  EXPECT_TRUE(load_resume_state(path.string(), spec).ok);
+  fs::remove(path);
+}
+
+// The acceptance property: a sweep interrupted after a subset of rows and
+// then resumed over the full workload list produces a byte-identical CSV to
+// one uninterrupted run.
+TEST(SweepJournal, InterruptedThenResumedCsvIsByteIdentical) {
+  const fs::path dir = fs::temp_directory_path() / "esteem-sweep-resume-test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string journal_path = (dir / "sweep.journal").string();
+
+  const std::vector<std::string> all{"gamess", "gobmk", "libquantum"};
+
+  // Reference: the uninterrupted sweep.
+  RunCache::instance().clear();
+  const SweepResult reference = run_sweep(tiny_sweep(all));
+  ASSERT_TRUE(reference.ok());
+
+  // "Interrupted" leg: only the first workload completed before the crash —
+  // exactly what the journal of a killed process would hold.
+  {
+    SweepSpec partial = tiny_sweep({"gamess"});
+    SweepJournal journal;
+    ASSERT_TRUE(journal.open(journal_path, partial));
+    partial.journal = &journal;
+    ASSERT_TRUE(run_sweep(partial).ok());
+    journal.close();
+  }
+
+  // Resume over the full list; drop the memo cache so the restored row
+  // provably comes from the journal bytes, not recomputation.
+  RunCache::instance().clear();
+  SweepSpec full = tiny_sweep(all);
+  const ResumeLoad resume = load_resume_state(journal_path, full);
+  ASSERT_TRUE(resume.ok) << resume.error;
+  ASSERT_EQ(resume.state.rows.size(), 1u);
+  full.resume = &resume.state;
+
+  SweepJournal journal;
+  ASSERT_TRUE(journal.open(journal_path, full));
+  full.journal = &journal;
+  const SweepResult resumed = run_sweep(full);
+  journal.close();
+  ASSERT_TRUE(resumed.ok());
+
+  ASSERT_EQ(resumed.rows.size(), reference.rows.size());
+  EXPECT_TRUE(resumed.rows[0].resumed);
+  EXPECT_FALSE(resumed.rows[1].resumed);
+  for (std::size_t w = 0; w < reference.rows.size(); ++w) {
+    EXPECT_EQ(resumed.rows[w].workload, reference.rows[w].workload);
+    EXPECT_TRUE(resumed.rows[w].completed);
+    ASSERT_EQ(resumed.rows[w].comparisons.size(),
+              reference.rows[w].comparisons.size());
+    for (std::size_t t = 0; t < reference.rows[w].comparisons.size(); ++t) {
+      expect_same_comparison(resumed.rows[w].comparisons[t],
+                             reference.rows[w].comparisons[t]);
+    }
+  }
+
+  const std::string ref_csv = (dir / "reference.csv").string();
+  const std::string res_csv = (dir / "resumed.csv").string();
+  write_csv(reference, ref_csv);
+  write_csv(resumed, res_csv);
+  EXPECT_EQ(read_file(ref_csv), read_file(res_csv));
+
+  // The extended journal now covers every workload: a second resume would
+  // re-run nothing.
+  const ResumeLoad again = load_resume_state(journal_path, full);
+  ASSERT_TRUE(again.ok) << again.error;
+  EXPECT_EQ(again.state.rows.size(), all.size());
+  fs::remove_all(dir);
+}
+
+TEST(SweepJournal, ShutdownRequestDrainsWithoutRunning) {
+  const fs::path path = fs::temp_directory_path() / "esteem-sweep-journal-3.jsonl";
+  fs::remove(path);
+
+  SweepSpec spec = tiny_sweep({"gamess", "gobmk"});
+  SweepJournal journal;
+  ASSERT_TRUE(journal.open(path.string(), spec));
+  spec.journal = &journal;
+
+  resilience::request_shutdown();
+  const SweepResult result = run_sweep(spec);
+  resilience::clear_shutdown();
+  journal.close();
+
+  EXPECT_TRUE(result.interrupted);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.errors.empty());  // skipped, not failed
+  ASSERT_EQ(result.rows.size(), 2u);
+  for (const WorkloadRow& row : result.rows) {
+    EXPECT_TRUE(row.skipped);
+    EXPECT_FALSE(row.completed);
+  }
+  // Nothing ran, so nothing beyond the header may have been journaled.
+  EXPECT_TRUE(load_resume_state(path.string(), spec).state.rows.empty());
+  fs::remove(path);
+}
+
+TEST(SweepJournal, CorruptRowLineIsSkippedAndCounted) {
+  const fs::path path = fs::temp_directory_path() / "esteem-sweep-journal-4.jsonl";
+  fs::remove(path);
+
+  SweepSpec spec = tiny_sweep({"gamess"});
+  SweepJournal journal;
+  ASSERT_TRUE(journal.open(path.string(), spec));
+  spec.journal = &journal;
+  ASSERT_TRUE(run_sweep(spec).ok());
+  journal.close();
+
+  {
+    std::ofstream tail(path, std::ios::app | std::ios::binary);
+    tail << "{\"v\":1,\"kind\":\"row\",\"workload\":\"torn-tail";
+  }
+  const ResumeLoad load = load_resume_state(path.string(), spec);
+  ASSERT_TRUE(load.ok) << load.error;
+  EXPECT_EQ(load.state.rows.size(), 1u);
+  EXPECT_EQ(load.state.corrupt_lines, 1u);
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace esteem::sim

@@ -11,7 +11,17 @@
 //                              workload, e.g. gobmk+namd). A workload that
 //                              fails is reported at the end instead of
 //                              aborting the sweep; exit code 3 signals that
-//                              at least one workload errored.
+//                              at least one workload errored. SIGINT/SIGTERM
+//                              drain the sweep gracefully (completed rows
+//                              are kept and journaled, queued work is
+//                              skipped) and exit with code 5.
+//     --journal FILE           crash-safe sweep journal: append every
+//                              completed workload row (fsync'd, CRC'd
+//                              JSONL) as it finishes
+//     --resume FILE            restore completed rows from FILE instead of
+//                              re-running them, then keep journaling to the
+//                              same file; refuses a journal recorded by a
+//                              different sweep (config/techniques/seed)
 //     --techniques A[,B]       techniques compared in sweep mode
 //                              (default: esteem,rpv)
 //     --jobs N                 sweep worker threads (0 = hardware
@@ -53,10 +63,12 @@
 #include "common/config_io.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
+#include "resilience/shutdown.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 #include "sim/run_cache.hpp"
 #include "sim/runner.hpp"
+#include "sim/sweep_journal.hpp"
 #include "sim/task_pool.hpp"
 #include "telemetry/telemetry.hpp"
 #include "trace/spec_profiles.hpp"
@@ -70,6 +82,7 @@ using namespace esteem;
   std::fprintf(stderr,
                "usage: esteem_cli [--workload A[,B]] [--technique NAME]\n"
                "                  [--sweep WL[,WL]] [--techniques A[,B]]\n"
+               "                  [--journal FILE] [--resume FILE]\n"
                "                  [--jobs N] [--csv FILE] [--config FILE]\n"
                "                  [--instr N] [--warmup N] [--seed N]\n"
                "                  [--compare] [--timeline FILE]\n"
@@ -134,11 +147,13 @@ esteem::trace::Workload parse_sweep_workload(const std::string& item) {
 }
 
 /// Runs sweep mode end to end; returns the process exit code (0 = all
-/// workloads completed, 3 = at least one workload errored).
+/// workloads completed, 3 = at least one workload errored, 5 = interrupted
+/// by SIGINT/SIGTERM after a graceful drain).
 int run_sweep_mode(const SystemConfig& cfg, const std::string& sweep_arg,
                    const std::string& techniques_arg, const std::string& csv_path,
                    instr_t instr, instr_t warmup, std::uint64_t seed,
-                   unsigned jobs) {
+                   unsigned jobs, const std::string& journal_path,
+                   const std::string& resume_path) {
   sim::SweepSpec spec;
   spec.config = cfg;
   spec.seed = seed;
@@ -156,22 +171,62 @@ int run_sweep_mode(const SystemConfig& cfg, const std::string& sweep_arg,
     }
   }
 
+  sim::ResumeLoad resume;
+  if (!resume_path.empty()) {
+    resume = sim::load_resume_state(resume_path, spec);
+    if (!resume.ok) {
+      std::fprintf(stderr, "error: %s\n", resume.error.c_str());
+      return 2;
+    }
+    spec.resume = &resume.state;
+    std::printf("resume: %zu row(s) restored from %s", resume.state.rows.size(),
+                resume_path.c_str());
+    if (resume.state.corrupt_lines > 0) {
+      std::printf(" (%zu damaged line(s) skipped)", resume.state.corrupt_lines);
+    }
+    std::printf("\n");
+  }
+
+  // A resumed sweep keeps journaling to the file it resumed from unless an
+  // explicit --journal overrides it.
+  sim::SweepJournal journal;
+  const std::string effective_journal =
+      !journal_path.empty() ? journal_path : resume_path;
+  if (!effective_journal.empty()) {
+    if (!journal.open(effective_journal, spec)) {
+      std::fprintf(stderr, "error: %s\n", journal.last_error().c_str());
+      return 2;
+    }
+    spec.journal = &journal;
+  }
+
+  // From here on SIGINT/SIGTERM drain the sweep instead of killing it.
+  resilience::install_signal_handlers();
+
   std::printf("sweep: %zu workload(s) x %zu technique(s) + baseline, %u worker thread(s)\n",
               spec.workloads.size(), spec.techniques.size(),
               sim::TaskPool::resolve_threads(jobs));
   const sim::RunCacheStats memo_before = sim::RunCache::instance().stats();
   const sim::SweepResult result = sim::run_sweep(spec);
   const sim::RunCacheStats memo_after = sim::RunCache::instance().stats();
+  journal.close();
   std::printf("%s", sim::figure_report(result, "sweep").c_str());
   // Parallelism header: the resolved worker count together with what the
-  // memo cache actually absorbed during this sweep.
+  // memo cache actually absorbed during this sweep. Memo-file damage only
+  // appends when it happened, keeping the common line stable.
   std::printf("parallelism: %u worker thread(s), memo-cache %llu hit / %llu miss "
-              "(%llu disk hit)\n",
+              "(%llu disk hit)",
               sim::TaskPool::resolve_threads(jobs),
               static_cast<unsigned long long>(memo_after.hits - memo_before.hits),
               static_cast<unsigned long long>(memo_after.misses - memo_before.misses),
               static_cast<unsigned long long>(memo_after.disk_hits -
                                               memo_before.disk_hits));
+  if (memo_after.quarantined > memo_before.quarantined) {
+    std::printf(", %llu quarantined",
+                static_cast<unsigned long long>(memo_after.quarantined -
+                                                memo_before.quarantined));
+  }
+  std::printf("\n");
   const std::string phases = telemetry::profiler().to_line();
   if (!phases.empty()) std::printf("phases: %s\n", phases.c_str());
   if (!csv_path.empty()) {
@@ -179,16 +234,30 @@ int run_sweep_mode(const SystemConfig& cfg, const std::string& sweep_arg,
     std::printf("csv written to %s\n", csv_path.c_str());
   }
 
-  if (!result.ok()) {
+  if (!result.errors.empty()) {
     std::fprintf(stderr, "\nsweep errors (%zu of %zu workloads failed):\n",
                  result.errors.size(), spec.workloads.size());
     for (const sim::RunError& e : result.errors) {
-      std::fprintf(stderr, "  workload %-16s technique %-14s %s\n",
-                   e.workload.c_str(), e.technique.c_str(), e.what.c_str());
+      if (e.phase == "run") {
+        std::fprintf(stderr, "  workload %-16s technique %-14s %s\n",
+                     e.workload.c_str(), e.technique.c_str(), e.what.c_str());
+      } else {
+        std::fprintf(stderr, "  workload %-16s technique %-14s [%s] %s\n",
+                     e.workload.c_str(), e.technique.c_str(), e.phase.c_str(),
+                     e.what.c_str());
+      }
     }
-    return 3;
   }
-  return 0;
+  if (result.interrupted) {
+    // Partial summary above is already on stdout; the dedicated exit code
+    // lets wrappers distinguish "interrupted, resumable" from failure.
+    std::fprintf(stderr, "sweep interrupted: completed rows journaled%s\n",
+                 effective_journal.empty()
+                     ? " in memory only (use --journal to persist)"
+                     : ("; resume with --resume " + effective_journal).c_str());
+    return resilience::kExitInterrupted;
+  }
+  return result.errors.empty() ? 0 : 3;
 }
 
 /// Writes pending telemetry artefacts (interval series were written per run;
@@ -219,6 +288,8 @@ int main(int argc, char** argv) {
   std::string techniques_arg;
   std::string csv_path;
   std::string config_path;
+  std::string journal_path;
+  std::string resume_path;
   std::string timeline_path;
   std::string telemetry_dir;
   std::string trace_path;
@@ -242,6 +313,8 @@ int main(int argc, char** argv) {
     else if (arg == "--techniques") techniques_arg = value();
     else if (arg == "--csv") csv_path = value();
     else if (arg == "--config") config_path = value();
+    else if (arg == "--journal") journal_path = value();
+    else if (arg == "--resume") resume_path = value();
     else if (arg == "--instr") instr = std::strtoull(value().c_str(), nullptr, 10);
     else if (arg == "--warmup") warmup = std::strtoull(value().c_str(), nullptr, 10);
     else if (arg == "--seed") seed = std::strtoull(value().c_str(), nullptr, 10);
@@ -306,9 +379,12 @@ int main(int argc, char** argv) {
         return 0;
       }
       const int code = run_sweep_mode(cfg, sweep_arg, techniques_arg, csv_path, instr,
-                                      warmup, seed, jobs);
+                                      warmup, seed, jobs, journal_path, resume_path);
       flush_telemetry();
       return code;
+    }
+    if (!journal_path.empty() || !resume_path.empty()) {
+      usage("--journal/--resume require --sweep");
     }
 
     const std::vector<std::string> benchmarks = split_csv(workload);

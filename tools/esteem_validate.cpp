@@ -20,13 +20,23 @@
 //   --perturb-refresh-energy X      scale eDRAM refresh energy by X before
 //                       running — a deliberate-drift hook for testing that
 //                       the gate actually fails when the model moves
+//   --journal-dir DIR   crash-safe journaling: each figure appends its
+//                       completed rows to DIR/<figid>.journal as it runs
+//   --resume            restore rows from existing journals in
+//                       --journal-dir before running (incompatible journals
+//                       are ignored with a warning)
+//
+// SIGINT/SIGTERM drain the figure matrix gracefully: completed rows stay
+// journaled and the process exits with code 5 instead of scoring partial
+// data.
 //
 // Paper-shape checks (signs, §7.2 bands) are gated only at the bench scale:
 // at tiny instruction budgets the reconfiguration machinery barely engages
 // and the paper's ordering inverts (see EXPERIMENTS.md). Drift-vs-golden is
 // gated at every scale.
 //
-// Exit codes: 0 pass, 1 check failed, 2 usage error, 4 runtime error.
+// Exit codes: 0 pass, 1 check failed, 2 usage error, 4 runtime error,
+// 5 interrupted.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "resilience/shutdown.hpp"
 #include "validation/figures.hpp"
 #include "validation/golden.hpp"
 #include "validation/results_book.hpp"
@@ -53,6 +64,8 @@ struct Options {
   std::string scale_name = "smoke";
   std::vector<std::string> figure_ids{"fig3", "fig4", "fig5", "fig6"};
   double perturb_refresh = 1.0;
+  std::string journal_dir;
+  bool resume = false;
   // Scale overrides (<0 = keep the scale's own value).
   long long instr = -1;
   long long warmup = -1;
@@ -66,7 +79,8 @@ void usage(std::FILE* to) {
                "                       [--golden PATH] [--scale smoke|bench]\n"
                "                       [--instr N] [--warmup N] [--seed N] [--jobs N]\n"
                "                       [--figures fig3,fig4,...]\n"
-               "                       [--perturb-refresh-energy X]\n");
+               "                       [--perturb-refresh-energy X]\n"
+               "                       [--journal-dir DIR] [--resume]\n");
 }
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -119,6 +133,11 @@ bool parse_args(int argc, char** argv, Options& opt) {
           return false;
         }
       }
+    } else if (a == "--journal-dir") {
+      if (!need_value(i)) return false;
+      opt.journal_dir = argv[++i];
+    } else if (a == "--resume") {
+      opt.resume = true;
     } else if (a == "--perturb-refresh-energy") {
       if (!need_value(i)) return false;
       opt.perturb_refresh = std::atof(argv[++i]);
@@ -160,19 +179,31 @@ ScaleSpec resolve_scale(const Options& opt) {
   return s;
 }
 
-std::vector<FigureResult> run_matrix(const Options& opt, const ScaleSpec& scale) {
+/// Runs the figure matrix; `interrupted` reports whether a shutdown request
+/// cut it short (remaining figures are skipped entirely).
+std::vector<FigureResult> run_matrix(const Options& opt, const ScaleSpec& scale,
+                                     bool& interrupted) {
   std::function<void(SystemConfig&)> mutate;
   if (opt.perturb_refresh != 1.0) {
     const double k = opt.perturb_refresh;
     mutate = [k](SystemConfig& cfg) { cfg.energy.refresh_scale = k; };
   }
+  FigureRunOptions run_opts;
+  run_opts.journal_dir = opt.journal_dir;
+  run_opts.resume = opt.resume;
   std::vector<FigureResult> results;
+  interrupted = false;
   for (const std::string& id : opt.figure_ids) {
+    if (resilience::shutdown_requested()) {
+      interrupted = true;
+      break;
+    }
     const FigureSpec* spec = find_figure(id);
     std::fprintf(stderr, "running %s at scale '%s' (%llu instr/core)...\n",
                  id.c_str(), scale.label.c_str(),
                  static_cast<unsigned long long>(scale.instr_per_core));
-    results.push_back(run_figure(*spec, scale, mutate));
+    results.push_back(run_figure(*spec, scale, mutate, run_opts));
+    interrupted |= results.back().sweep.interrupted;
   }
   return results;
 }
@@ -187,7 +218,13 @@ int do_check(const Options& opt, const ScaleSpec& scale) {
     std::fprintf(stderr, "warning: %s\n", e.what());
   }
 
-  const std::vector<FigureResult> results = run_matrix(opt, scale);
+  bool interrupted = false;
+  const std::vector<FigureResult> results = run_matrix(opt, scale, interrupted);
+  if (interrupted) {
+    std::fprintf(stderr, "validation interrupted; not scoring partial data "
+                         "(re-run with --resume to continue)\n");
+    return resilience::kExitInterrupted;
+  }
   const bool paper_checks = scale.label == "bench";
   const Scorecard card = build_scorecard(results, have_golden ? &golden : nullptr,
                                          paper_checks);
@@ -208,7 +245,12 @@ int do_update_golden(const Options& opt, const ScaleSpec& scale) {
     std::fprintf(stderr, "refusing to record a golden from a perturbed run\n");
     return 2;
   }
-  const std::vector<FigureResult> results = run_matrix(opt, scale);
+  bool interrupted = false;
+  const std::vector<FigureResult> results = run_matrix(opt, scale, interrupted);
+  if (interrupted) {
+    std::fprintf(stderr, "validation interrupted; not recording a golden\n");
+    return resilience::kExitInterrupted;
+  }
   for (const FigureResult& r : results) {
     if (!r.sweep.ok()) {
       std::fprintf(stderr, "%s had sweep errors; not recording a golden\n",
@@ -256,7 +298,13 @@ int do_results(const Options& opt, const ScaleSpec& scale) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "warning: %s\n", e.what());
   }
-  const std::vector<FigureResult> results = run_matrix(opt, scale);
+  bool interrupted = false;
+  const std::vector<FigureResult> results = run_matrix(opt, scale, interrupted);
+  if (interrupted) {
+    std::fprintf(stderr, "validation interrupted; not rendering partial "
+                         "results\n");
+    return resilience::kExitInterrupted;
+  }
   const Scorecard card = build_scorecard(results, have_golden ? &golden : nullptr,
                                          scale.label == "bench");
   const ExactChecks checks = run_exact_checks(scale);
@@ -282,6 +330,7 @@ int main(int argc, char** argv) {
   }
   try {
     if (opt.mode == Mode::List) return do_list();
+    esteem::resilience::install_signal_handlers();
     const ScaleSpec scale = resolve_scale(opt);
     switch (opt.mode) {
       case Mode::Check: return do_check(opt, scale);
