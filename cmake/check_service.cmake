@@ -1,0 +1,83 @@
+# End-to-end chaos drill for the multi-process sweep service: plan a sweep,
+# let two chaos-armed workers SIGKILL themselves mid-lease, have two clean
+# workers steal the dangling leases and finish, then assert the coordinator's
+# CSV is byte-identical to a single-process `esteem_cli --sweep` of the same
+# flags. Invoked by the service_chaos_bitwise ctest with -DCLI=<esteem_cli>
+# -DWORKERD=<esteem_workerd> -DWORKDIR=<scratch dir>.
+set(sweep gamess,gobmk,mcf)
+set(sweep_args --techniques rpv,esteem --instr 30000 --warmup 5000)
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+
+# 0. A config with aggressive lease timing so stolen rows re-lease within
+#    the test budget instead of the production 30 s TTL. The single-process
+#    reference uses the *same* file — [service] keys are part of the sweep
+#    fingerprint, so byte-identity requires identical configs.
+execute_process(COMMAND ${CLI} --dump-config
+                OUTPUT_VARIABLE ini RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--dump-config failed (exit ${rc})")
+endif()
+string(REGEX REPLACE "lease_ttl_ms = [0-9]+" "lease_ttl_ms = 1500" ini "${ini}")
+string(REGEX REPLACE "heartbeat_ms = [0-9]+" "heartbeat_ms = 300" ini "${ini}")
+string(REGEX REPLACE "poll_ms = [0-9]+" "poll_ms = 100" ini "${ini}")
+file(WRITE ${WORKDIR}/service.ini "${ini}")
+
+# 1. Reference: the uninterrupted single-process sweep.
+execute_process(COMMAND ${CLI} --sweep ${sweep} ${sweep_args}
+                        --config ${WORKDIR}/service.ini
+                        --csv ${WORKDIR}/full.csv
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "reference sweep failed (exit ${rc})")
+endif()
+
+# 2. Plan the same sweep into a service directory.
+execute_process(COMMAND ${WORKERD} --plan ${WORKDIR}/svc --sweep ${sweep}
+                        ${sweep_args} --config ${WORKDIR}/service.ini
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "plan failed (exit ${rc}): ${out}${err}")
+endif()
+
+# 3. Two chaos-armed workers: each completes one row, claims the next, and
+#    SIGKILLs itself holding the lease. A crash is the *expected* outcome —
+#    a clean exit means the chaos hook failed to arm.
+foreach(i RANGE 1 2)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E env ESTEEM_CHAOS=1
+                          ESTEEM_CRASH_AFTER_ROWS=1
+                          ${WORKERD} --worker ${WORKDIR}/svc --owner chaos-${i}
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "chaos worker ${i} exited cleanly; expected SIGKILL")
+  endif()
+endforeach()
+
+# 4. Two clean workers. The first steals the dead workers' expired leases
+#    and resolves every remaining row; the second finds nothing to do. Both
+#    must exit 0.
+foreach(i RANGE 1 2)
+  execute_process(COMMAND ${WORKERD} --worker ${WORKDIR}/svc --owner clean-${i}
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "clean worker ${i} failed (exit ${rc}): ${out}${err}")
+  endif()
+endforeach()
+
+# 5. Aggregate. The journal now holds crash debris (dangling leases, stolen
+#    generations); the coordinator must still see a fully-resolved table.
+execute_process(COMMAND ${WORKERD} --coordinator ${WORKDIR}/svc
+                        --csv ${WORKDIR}/service.csv --timeout-ms 60000
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "coordinator failed (exit ${rc}): ${out}${err}")
+endif()
+
+# 6. Crash-recovered CSV must match the uninterrupted one byte for byte.
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${WORKDIR}/full.csv ${WORKDIR}/service.csv
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "service CSV differs from the single-process sweep's")
+endif()
+file(REMOVE_RECURSE ${WORKDIR})

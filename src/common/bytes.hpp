@@ -95,6 +95,33 @@ inline std::string to_hex(const std::string& bytes) {
   return out;
 }
 
+/// Fixed-width (16 digit) lowercase hex of a u64 — the journal's canonical
+/// rendering for hashes, digests, and lease ids.
+inline std::string hex_u64(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+/// Inverse of hex_u64; false unless `s` is exactly 16 lowercase hex digits.
+inline bool parse_hex_u64(const std::string& s, std::uint64_t& out) {
+  if (s.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    std::uint64_t nib = 0;
+    if (c >= '0' && c <= '9') nib = static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') nib = static_cast<std::uint64_t>(c - 'a' + 10);
+    else return false;
+    v = (v << 4) | nib;
+  }
+  out = v;
+  return true;
+}
+
 /// Inverse of to_hex; nullopt on odd length or a non-hex character.
 inline std::optional<std::string> from_hex(const std::string& hex) {
   auto nibble = [](char c) -> int {

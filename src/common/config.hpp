@@ -126,6 +126,29 @@ struct ResilienceConfig {
   std::uint32_t backoff_ms = 100;
 };
 
+/// Multi-process sweep-service knobs (src/service; DESIGN.md §12). Like
+/// [resilience], these govern how work is distributed, never what a run
+/// computes, so they are excluded from memo fingerprints and sweep hashes.
+struct ServiceConfig {
+  /// Lease time-to-live: a row whose lease has not been renewed for this
+  /// long is considered abandoned and may be re-leased by any worker. Must
+  /// comfortably exceed heartbeat_ms plus the slowest single run (or the
+  /// run_deadline_ms watchdog budget, which bounds it).
+  std::uint32_t lease_ttl_ms = 30'000;
+  /// Heartbeat period: how often a worker renews the lease of the row it is
+  /// running.
+  std::uint32_t heartbeat_ms = 5'000;
+  /// Idle poll period: how often a worker with nothing claimable (and the
+  /// waiting coordinator) re-reads the service journal.
+  std::uint32_t poll_ms = 500;
+  /// Chaos hook: a worker self-SIGKILLs right after claiming its next row
+  /// once it has completed this many rows — mid-lease, the way a real crash
+  /// lands. 0 = off. Only armed when the ESTEEM_CHAOS environment variable
+  /// is set (and ESTEEM_CRASH_AFTER_ROWS overrides the value per process),
+  /// so a stray config file can never kill production workers.
+  std::uint32_t crash_after_rows = 0;
+};
+
 /// Parameters of the ESTEEM energy-saving algorithm (§3, §4, §7).
 struct EsteemParams {
   /// Hit-coverage threshold: keep enough ways on to cover >= alpha * hits.
@@ -181,6 +204,7 @@ struct SystemConfig {
   EsteemParams esteem;
   FaultConfig faults;
   ResilienceConfig resilience;
+  ServiceConfig service;
 
   cycle_t retention_cycles() const noexcept {
     return static_cast<cycle_t>(edram.retention_us * 1000.0 * freq_ghz);

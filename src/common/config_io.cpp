@@ -271,6 +271,23 @@ std::vector<ConfigKeySpec> build_schema() {
                       "Base retry delay in ms; doubles per attempt (capped at 2^16x)",
                       [](SystemConfig& c, std::uint64_t v) { c.resilience.backoff_ms = static_cast<std::uint32_t>(v); },
                       [](const SystemConfig& c) -> std::uint64_t { return c.resilience.backoff_ms; }));
+
+  s.push_back(int_key("service", "lease_ttl_ms",
+                      "Sweep-service lease TTL in ms; an unrenewed row lease older than this may be re-leased",
+                      [](SystemConfig& c, std::uint64_t v) { c.service.lease_ttl_ms = static_cast<std::uint32_t>(v); },
+                      [](const SystemConfig& c) -> std::uint64_t { return c.service.lease_ttl_ms; }));
+  s.push_back(int_key("service", "heartbeat_ms",
+                      "Worker heartbeat period in ms (lease renewal while a row runs)",
+                      [](SystemConfig& c, std::uint64_t v) { c.service.heartbeat_ms = static_cast<std::uint32_t>(v); },
+                      [](const SystemConfig& c) -> std::uint64_t { return c.service.heartbeat_ms; }));
+  s.push_back(int_key("service", "poll_ms",
+                      "Idle poll period in ms for workers with nothing claimable and the waiting coordinator",
+                      [](SystemConfig& c, std::uint64_t v) { c.service.poll_ms = static_cast<std::uint32_t>(v); },
+                      [](const SystemConfig& c) -> std::uint64_t { return c.service.poll_ms; }));
+  s.push_back(int_key("service", "crash_after_rows",
+                      "Chaos hook: worker self-SIGKILLs mid-lease after completing N rows (0 = off; armed only with ESTEEM_CHAOS set)",
+                      [](SystemConfig& c, std::uint64_t v) { c.service.crash_after_rows = static_cast<std::uint32_t>(v); },
+                      [](const SystemConfig& c) -> std::uint64_t { return c.service.crash_after_rows; }));
   return s;
 }
 

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "resilience/crc32.hpp"
+#include "telemetry/telemetry.hpp"
 
 #if !defined(_WIN32)
 #include <fcntl.h>
@@ -185,6 +186,7 @@ JournalLoadResult JournalFile::load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) return result;
   result.exists = true;
+  static const std::string kRecordStart = "{\"v\":1,\"kind\":\"";
   std::string line;
   while (std::getline(in, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
@@ -192,12 +194,31 @@ JournalLoadResult JournalFile::load(const std::string& path) {
     JournalRecord rec;
     if (decode(line, rec)) {
       result.records.push_back(std::move(rec));
-    } else {
-      ++result.corrupt_lines;
+      continue;
+    }
+    // Damaged line. With several processes appending, a crash mid-write can
+    // leave a *mid-file* short record whose missing newline glued it to the
+    // next writer's (intact) line. Refusing the whole journal for that would
+    // throw away every good record, so instead salvage: scan for a later
+    // record start inside the line, decode the suffix, and count only the
+    // torn fragment as damage. The CRC on the salvaged suffix keeps this
+    // honest — a false record-start match simply fails to decode.
+    ++result.corrupt_lines;
+    std::size_t pos = line.find(kRecordStart, 1);
+    while (pos != std::string::npos) {
+      if (decode(line.substr(pos), rec)) {
+        result.records.push_back(std::move(rec));
+        break;
+      }
+      pos = line.find(kRecordStart, pos + 1);
     }
   }
   // A file whose last byte is not '\n' ends in a torn append; getline already
   // delivered that fragment and decode() rejected it via the CRC.
+  if (result.corrupt_lines > 0 && telemetry::active()) {
+    telemetry::registry().counter("journal.damaged_lines")
+        .add(result.corrupt_lines);
+  }
   return result;
 }
 

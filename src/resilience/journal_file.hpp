@@ -13,6 +13,15 @@
 // CRC (or the missing newline) and reports as corrupt instead of returning
 // garbage — everything before the tear is still usable.
 //
+// Multi-writer contract: several processes may append to the same path
+// through their own JournalFile instances; O_APPEND makes each record write
+// atomic with respect to the others. A writer that dies mid-append can
+// therefore leave a short record in the *middle* of the file (the next
+// writer's line lands after the tear). load() skips and counts such damaged
+// interior lines (`journal.damaged_lines` telemetry counter) — and salvages
+// an intact record that a missing newline glued onto a torn fragment —
+// instead of refusing the journal.
+//
 // This layer knows nothing about sweeps; sim/sweep_journal.hpp gives the
 // records their meaning.
 #pragma once

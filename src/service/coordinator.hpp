@@ -1,0 +1,56 @@
+// Sweep-service coordinator: plans a sweep into a service directory, waits
+// for cooperating workers to resolve every (workload x technique) row, and
+// aggregates the journaled cells into the same SweepResult a single-process
+// run_sweep would return — same CSV bytes, same report, same error list
+// (DESIGN.md §12).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/lease_table.hpp"
+
+namespace esteem::service {
+
+/// Exit codes extending the sweep protocol (0 = ok, 3 = run errors,
+/// 5 = interrupted, 2 = usage/open failure — see tools/esteem_cli.cpp).
+inline constexpr int kExitIntegrity = 6;  ///< Conflicting cell digests.
+inline constexpr int kExitTimeout = 7;    ///< --timeout-ms elapsed unresolved.
+
+struct CoordinatorOptions {
+  std::string dir;       ///< Planned service directory.
+  std::string csv_path;  ///< "" = no CSV.
+  std::uint32_t timeout_ms = 0;  ///< Give up waiting after this long; 0 = never.
+  bool quiet = false;            ///< Suppress progress lines on stderr.
+};
+
+struct CollectResult {
+  bool ok = false;  ///< Opened, fully resolved, no integrity conflict.
+  bool interrupted = false;
+  bool timed_out = false;
+  bool integrity_error = false;
+  std::string error;        ///< Human-readable reason when !ok.
+  sim::SweepResult result;  ///< Aggregated rows (valid when ok).
+};
+
+/// Plans `spec` into `dir`: creates the directory and writes the service
+/// journal header (spec bytes + sweep hash = the implicit row manifest).
+/// Idempotent for the same sweep; refuses a dir holding a different one.
+bool plan_service(const std::string& dir, const sim::SweepSpec& spec, std::string& error);
+
+/// Pure aggregation of a table state into run_sweep's result shape: rows in
+/// workload order, one deterministic RunError per failed workload (baseline
+/// outranks techniques, techniques in spec order). Exposed for tests.
+sim::SweepResult aggregate_rows(const LeaseTable& table, const TableState& state);
+
+/// Blocks until every row is resolved (polling [service] poll_ms), then
+/// aggregates and writes opts.csv_path. Returns early on shutdown, timeout,
+/// an unreadable journal, or an integrity conflict.
+CollectResult wait_and_collect(const CoordinatorOptions& opts);
+
+/// Prints the figure report + error list for a collected sweep (mirroring
+/// esteem_cli's sweep output) and returns the process exit code:
+/// 0 ok, 3 run errors, 5 interrupted, 6 integrity, 7 timeout, 2 otherwise.
+int report_collect(const CollectResult& collected, const CoordinatorOptions& opts);
+
+}  // namespace esteem::service

@@ -1,5 +1,6 @@
 #include "sim/run_cache.hpp"
 
+#include <atomic>
 #include <bit>
 #include <cstddef>
 #include <cstdio>
@@ -7,6 +8,10 @@
 #include <fstream>
 #include <future>
 #include <utility>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
 
 #include "common/bytes.hpp"
 #include "common/env.hpp"
@@ -382,7 +387,23 @@ void RunCache::quarantine_file(const std::string& dir, std::uint64_t hash,
   const std::filesystem::path corral = std::filesystem::path(dir) / "corrupt";
   std::error_code ec;
   std::filesystem::create_directories(corral, ec);
-  if (!ec) std::filesystem::rename(bad, corral / bad.filename(), ec);
+  if (!ec) {
+    // Unique destination per quarantining process: two processes (or two
+    // quarantines of a rewritten file) must never race to the same target —
+    // a pid+counter suffix keeps every piece of evidence and turns the
+    // collision into two distinct files instead of an overwrite or an error.
+    static std::atomic<std::uint64_t> quarantine_seq{0};
+    const std::uint64_t seq = quarantine_seq.fetch_add(1, std::memory_order_relaxed);
+#if defined(_WIN32)
+    const long pid = 0;
+#else
+    const long pid = static_cast<long>(::getpid());
+#endif
+    char suffix[48];
+    std::snprintf(suffix, sizeof suffix, ".%ld-%llu", pid,
+                  static_cast<unsigned long long>(seq));
+    std::filesystem::rename(bad, corral / (bad.filename().string() + suffix), ec);
+  }
   if (ec) std::filesystem::remove(bad, ec);  // can't move it aside: drop it
   {
     const std::lock_guard<std::mutex> lock(mutex_);

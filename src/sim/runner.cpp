@@ -59,8 +59,10 @@ struct WorkloadTaskState {
   std::atomic<std::size_t> remaining{0};
 };
 
-RunSpec make_run_spec(const SweepSpec& spec, const trace::Workload& workload,
-                      Technique technique) {
+}  // namespace
+
+RunSpec sweep_run_spec(const SweepSpec& spec, const trace::Workload& workload,
+                       Technique technique) {
   RunSpec rs;
   rs.config = spec.config;
   rs.technique = technique;
@@ -71,7 +73,8 @@ RunSpec make_run_spec(const SweepSpec& spec, const trace::Workload& workload,
   return rs;
 }
 
-RunError to_run_error(const std::string& workload, const std::string& technique) {
+RunError current_exception_to_run_error(const std::string& workload,
+                                        const std::string& technique) {
   try {
     throw;
   } catch (const resilience::DeadlineExceeded& e) {
@@ -83,12 +86,6 @@ RunError to_run_error(const std::string& workload, const std::string& technique)
   }
 }
 
-/// run_experiment_cached under the sweep's resilience policy: a watchdog
-/// deadline per attempt (a late result is discarded and surfaces as
-/// DeadlineExceeded -> RunError{phase="deadline"}), transient failures
-/// retried with capped exponential backoff, and — when a journal is
-/// attached — a durable (fingerprint -> outcome digest) audit record per
-/// completed run.
 std::shared_ptr<const RunOutcome> run_guarded(const RunSpec& rs, const std::string& label,
                                               SweepJournal* journal) {
   const ResilienceConfig& rc = rs.config.resilience;
@@ -117,8 +114,6 @@ std::shared_ptr<const RunOutcome> run_guarded(const RunSpec& rs, const std::stri
   }
   return outcome;
 }
-
-}  // namespace
 
 SweepResult run_sweep(const SweepSpec& spec) {
   // Self-profiling: the sweep's wall time lands in the phase rollup printed
@@ -202,10 +197,11 @@ SweepResult run_sweep(const SweepSpec& spec) {
       std::shared_ptr<const RunOutcome> base;
       try {
         base = run_guarded(
-            make_run_spec(spec, workload, Technique::BaselinePeriodicAll),
+            sweep_run_spec(spec, workload, Technique::BaselinePeriodicAll),
             "baseline:" + workload.name, spec.journal);
       } catch (...) {
-        state.baseline_error = to_run_error(workload.name, "baseline");
+        state.baseline_error =
+            current_exception_to_run_error(workload.name, "baseline");
       }
       state.baseline_promise.set_value(base);  // null signals baseline failure
       if (base == nullptr) {
@@ -228,12 +224,12 @@ SweepResult run_sweep(const SweepSpec& spec) {
           try {
             const std::shared_ptr<const RunOutcome> baseline = st.baseline.get();
             const std::shared_ptr<const RunOutcome> tech = run_guarded(
-                make_run_spec(spec, wl, technique),
+                sweep_run_spec(spec, wl, technique),
                 std::string(to_string(technique)) + ":" + wl.name, spec.journal);
             result.rows[wi].comparisons[ti] = compare(wl.name, technique, *baseline, *tech);
           } catch (...) {
-            st.technique_errors[ti] =
-                to_run_error(wl.name, std::string(to_string(technique)));
+            st.technique_errors[ti] = current_exception_to_run_error(
+                wl.name, std::string(to_string(technique)));
           }
           // The task that retires the workload's last technique journals the
           // row — but only a fully clean one, so an errored or interrupted

@@ -9,26 +9,6 @@ namespace esteem::sim {
 
 namespace {
 
-std::string hex64(std::uint64_t v) {
-  char buf[24];
-  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
-  return buf;
-}
-
-bool parse_hex64(const std::string& s, std::uint64_t& out) {
-  if (s.size() != 16) return false;
-  std::uint64_t v = 0;
-  for (char c : s) {
-    std::uint64_t nib = 0;
-    if (c >= '0' && c <= '9') nib = static_cast<std::uint64_t>(c - '0');
-    else if (c >= 'a' && c <= 'f') nib = static_cast<std::uint64_t>(c - 'a' + 10);
-    else return false;
-    v = (v << 4) | nib;
-  }
-  out = v;
-  return true;
-}
-
 void write_comparison(ByteWriter& w, const TechniqueComparison& c) {
   w.str(c.workload);
   w.u32(static_cast<std::uint32_t>(c.technique));
@@ -108,7 +88,7 @@ bool SweepJournal::open(const std::string& path, const SweepSpec& spec) {
   if (!file_.open(path, /*truncate=*/false)) return false;
   resilience::JournalRecord header;
   header.kind = "sweep";
-  header.fields.emplace_back("hash", hex64(sweep_fingerprint_hash(spec)));
+  header.fields.emplace_back("hash", hex_u64(sweep_fingerprint_hash(spec)));
   header.fields.emplace_back("ntech", std::to_string(spec.techniques.size()));
   header.fields.emplace_back("seed", std::to_string(spec.seed));
   header.fields.emplace_back("instr", std::to_string(spec.instr_per_core));
@@ -131,8 +111,8 @@ bool SweepJournal::append_row(const WorkloadRow& row) {
 bool SweepJournal::append_run(std::uint64_t fingerprint_hash, std::uint64_t digest) {
   resilience::JournalRecord rec;
   rec.kind = "run";
-  rec.fields.emplace_back("fp", hex64(fingerprint_hash));
-  rec.fields.emplace_back("digest", hex64(digest));
+  rec.fields.emplace_back("fp", hex_u64(fingerprint_hash));
+  rec.fields.emplace_back("digest", hex_u64(digest));
   return file_.append(rec);
 }
 
@@ -154,7 +134,7 @@ ResumeLoad load_resume_state(const std::string& path, const SweepSpec& spec) {
   for (const resilience::JournalRecord& rec : raw.records) {
     if (rec.kind == "sweep") {
       std::uint64_t hash = 0;
-      if (!parse_hex64(rec.field("hash"), hash) || hash != want_hash) {
+      if (!parse_hex_u64(rec.field("hash"), hash) || hash != want_hash) {
         result.error =
             "journal: " + path + " records a different sweep (config, "
             "techniques, seed or budgets changed); refusing to resume";

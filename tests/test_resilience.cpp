@@ -110,6 +110,57 @@ TEST(JournalFile, AppendLoadRoundTripAndTornTail) {
   fs::remove(path);
 }
 
+TEST(JournalFile, DamagedInteriorLinesAreSkippedAndCounted) {
+  const fs::path path = fs::temp_directory_path() / "esteem-journal-interior.jsonl";
+  fs::remove(path);
+
+  // Hand-build a file where damage sits *between* good records — the
+  // multi-writer case where one process died mid-append and others kept
+  // going. The loader must keep everything after the damage.
+  JournalRecord good = sample_record();
+  {
+    std::ofstream out(path, std::ios::binary);
+    good.fields[0].second = "wl0";
+    out << JournalFile::encode(good) << "\n";
+    out << "{\"v\":1,\"kind\":\"row\",\"workload\":\"torn\n";  // torn, CRC-less
+    out << "complete garbage, not even json\n";
+    good.fields[0].second = "wl1";
+    out << JournalFile::encode(good) << "\n";
+  }
+
+  const JournalLoadResult loaded = JournalFile::load(path.string());
+  EXPECT_TRUE(loaded.exists);
+  ASSERT_EQ(loaded.records.size(), 2u);
+  EXPECT_EQ(loaded.records[0].field("workload"), "wl0");
+  EXPECT_EQ(loaded.records[1].field("workload"), "wl1");
+  EXPECT_EQ(loaded.corrupt_lines, 2u);
+  fs::remove(path);
+}
+
+TEST(JournalFile, GluedRecordAfterTornFragmentIsSalvaged) {
+  const fs::path path = fs::temp_directory_path() / "esteem-journal-glued.jsonl";
+  fs::remove(path);
+
+  // A writer crashed before its newline, so the next writer's intact record
+  // landed on the *same* line. The fragment is lost (counted), but the
+  // intact suffix record must be recovered — dropping it would turn one
+  // crash into data loss for an innocent process.
+  JournalRecord good = sample_record();
+  good.fields[0].second = "glued";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "{\"v\":1,\"kind\":\"row\",\"workload\":\"torn"
+        << JournalFile::encode(good) << "\n";
+  }
+
+  const JournalLoadResult loaded = JournalFile::load(path.string());
+  EXPECT_TRUE(loaded.exists);
+  ASSERT_EQ(loaded.records.size(), 1u);
+  EXPECT_EQ(loaded.records[0].field("workload"), "glued");
+  EXPECT_EQ(loaded.corrupt_lines, 1u);
+  fs::remove(path);
+}
+
 TEST(JournalFile, LoadMissingFileReportsNotExists) {
   const JournalLoadResult loaded = JournalFile::load("/nonexistent/dir/journal");
   EXPECT_FALSE(loaded.exists);

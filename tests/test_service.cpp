@@ -1,0 +1,404 @@
+// Tests for the multi-process sweep service: spec wire codec, lease
+// claim/renew/expiry/steal with injected clocks, zombie fencing, duplicate
+// dedupe, digest-conflict detection, and in-process worker/coordinator
+// byte-identity against run_sweep.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "resilience/journal_file.hpp"
+#include "resilience/shutdown.hpp"
+#include "service/coordinator.hpp"
+#include "service/lease_table.hpp"
+#include "service/wire.hpp"
+#include "service/worker.hpp"
+#include "sim/report.hpp"
+#include "sim/run_cache.hpp"
+#include "sim/runner.hpp"
+#include "sim/sweep_journal.hpp"
+
+namespace esteem::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag)
+      : path(fs::temp_directory_path() / ("esteem-service-" + tag)) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+SystemConfig tiny() {
+  SystemConfig cfg = SystemConfig::single_core();
+  cfg.l1.geom = CacheGeometry{8ULL * 1024, 4, 64};
+  cfg.l2.geom = CacheGeometry{512ULL * 1024, 8, 64};
+  cfg.edram.retention_us = 5.0;
+  cfg.esteem.modules = 8;
+  cfg.esteem.interval_cycles = 100'000;
+  cfg.esteem.sampling_ratio = 32;
+  cfg.esteem.a_min = 2;
+  return cfg;
+}
+
+sim::SweepSpec tiny_sweep(std::vector<std::string> workloads,
+                          std::vector<sim::Technique> techniques) {
+  sim::SweepSpec spec;
+  spec.config = tiny();
+  for (const std::string& w : workloads) spec.workloads.push_back({w, {w}});
+  spec.techniques = std::move(techniques);
+  spec.instr_per_core = 100'000;
+  spec.warmup_instr_per_core = 20'000;
+  spec.threads = 1;
+  return spec;
+}
+
+sim::TechniqueComparison sample_comparison(double salt) {
+  sim::TechniqueComparison c;
+  c.workload = "mcf";
+  c.technique = sim::Technique::RefrintRPV;
+  c.energy_saving_pct = 12.25 + salt;
+  c.weighted_speedup = 1.0625;
+  c.rpki_base = 400.5;
+  c.rpki_tech = 100.125;
+  c.active_ratio_pct = 87.5;
+  return c;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// ---------------------------------------------------------------- wire codec
+
+TEST(ServiceWire, RoundTripIsExact) {
+  sim::SweepSpec spec = tiny_sweep({"mcf", "gobmk+namd"},
+                                   {sim::Technique::Esteem, sim::Technique::RefrintRPV});
+  spec.workloads[1].benchmarks = {"gobmk", "namd"};  // multi-program workload
+  // Values 6-significant-digit INI formatting would mangle — the codec must
+  // carry f64 bits, not text.
+  spec.config.esteem.alpha = 1.0 / 3.0;
+  spec.config.l2.refresh_occupancy_cycles = 4.000000123456789;
+  spec.config.service.lease_ttl_ms = 1234;
+  spec.seed = 0xDEADBEEFCAFEF00DULL;
+
+  sim::SweepSpec out;
+  ASSERT_TRUE(decode_sweep_spec(encode_sweep_spec(spec), out));
+  EXPECT_EQ(out.config.esteem.alpha, spec.config.esteem.alpha);
+  EXPECT_EQ(out.config.l2.refresh_occupancy_cycles, spec.config.l2.refresh_occupancy_cycles);
+  EXPECT_EQ(out.config.service.lease_ttl_ms, 1234u);
+  EXPECT_EQ(out.seed, spec.seed);
+  EXPECT_EQ(out.instr_per_core, spec.instr_per_core);
+  ASSERT_EQ(out.workloads.size(), 2u);
+  EXPECT_EQ(out.workloads[1].name, "gobmk+namd");
+  ASSERT_EQ(out.workloads[1].benchmarks.size(), 2u);
+  EXPECT_EQ(out.workloads[1].benchmarks[1], "namd");
+  ASSERT_EQ(out.techniques.size(), 2u);
+  EXPECT_EQ(out.techniques[0], sim::Technique::Esteem);
+  // Decoded specs must hash identically — the service header's skew guard.
+  EXPECT_EQ(sim::sweep_fingerprint_hash(out), sim::sweep_fingerprint_hash(spec));
+}
+
+TEST(ServiceWire, RejectsTruncationTrailingBytesAndForeignVersion) {
+  const sim::SweepSpec spec = tiny_sweep({"mcf"}, {sim::Technique::Esteem});
+  const std::string bytes = encode_sweep_spec(spec);
+  sim::SweepSpec out;
+  for (const std::size_t cut : {bytes.size() / 4, bytes.size() / 2, bytes.size() - 1}) {
+    EXPECT_FALSE(decode_sweep_spec(bytes.substr(0, cut), out)) << "cut=" << cut;
+  }
+  EXPECT_FALSE(decode_sweep_spec(bytes + "x", out));
+  std::string wrong_version = bytes;
+  wrong_version[0] = static_cast<char>(kWireVersion + 1);
+  EXPECT_FALSE(decode_sweep_spec(wrong_version, out));
+}
+
+// ---------------------------------------------------------------- lease table
+
+TEST(LeaseTable, PlanOpenRoundTripAndForeignSweepRefused) {
+  const TempDir dir("plan");
+  const sim::SweepSpec spec = tiny_sweep({"mcf", "gobmk"}, {sim::Technique::RefrintRPV});
+
+  LeaseTable planner;
+  ASSERT_TRUE(planner.create(dir.str(), spec, "planner")) << planner.last_error();
+  ASSERT_TRUE(planner.create(dir.str(), spec, "planner"));  // idempotent re-plan
+
+  LeaseTable worker;
+  ASSERT_TRUE(worker.open(dir.str(), "w1")) << worker.last_error();
+  EXPECT_EQ(worker.n_rows(), 2u);
+  EXPECT_EQ(worker.sweep_hash(), planner.sweep_hash());
+  EXPECT_EQ(worker.spec().config.l2.geom.size_bytes, 512ULL * 1024);
+  EXPECT_EQ(worker.row_workload(1).name, "gobmk");
+  EXPECT_EQ(worker.row_technique(0), sim::Technique::RefrintRPV);
+
+  // Same dir, different sweep (seed changed): must be refused, both ways.
+  sim::SweepSpec other = spec;
+  other.seed += 1;
+  LeaseTable clash;
+  EXPECT_FALSE(clash.create(dir.str(), other, "planner"));
+  EXPECT_NE(clash.last_error().find("different sweep"), std::string::npos);
+
+  const TableState st = worker.load_state();
+  ASSERT_TRUE(st.ok) << st.error;
+  EXPECT_EQ(st.rows.size(), 2u);
+  EXPECT_FALSE(st.resolved());
+}
+
+TEST(LeaseTable, ClaimRenewExpiryAndSteal) {
+  const TempDir dir("lease");
+  // 1 workload x 2 techniques = 2 rows; default TTL 30 s, injected clocks.
+  const sim::SweepSpec spec =
+      tiny_sweep({"mcf"}, {sim::Technique::Esteem, sim::Technique::RefrintRPV});
+  LeaseTable a, b;
+  ASSERT_TRUE(a.create(dir.str(), spec, "worker-a"));
+  ASSERT_TRUE(b.open(dir.str(), "worker-b"));
+
+  const std::int64_t t0 = 1'000'000;
+  const auto ca = a.claim(t0);
+  ASSERT_TRUE(ca.has_value()) << a.last_error();
+  EXPECT_EQ(ca->row, 0u);
+  EXPECT_EQ(ca->generation, 1u);
+  EXPECT_FALSE(ca->stolen);
+
+  const auto cb = b.claim(t0);
+  ASSERT_TRUE(cb.has_value()) << b.last_error();
+  EXPECT_EQ(cb->row, 1u);  // Row 0 is leased; the claim moves on.
+  EXPECT_NE(cb->lease_id, ca->lease_id);
+
+  EXPECT_FALSE(b.claim(t0).has_value());  // Everything is leased and live.
+
+  // A heartbeat at t0+25s extends row 0 to t0+55s...
+  EXPECT_TRUE(a.renew(*ca, t0 + 25'000));
+  // ...so at t0+40s the lease is still live and cannot be stolen (row 1's
+  // un-renewed lease expired at t0+30s and is re-leased instead).
+  const auto cb2 = b.claim(t0 + 40'000);
+  ASSERT_TRUE(cb2.has_value());
+  EXPECT_EQ(cb2->row, 1u);
+  EXPECT_TRUE(cb2->stolen);
+  EXPECT_EQ(cb2->generation, 2u);
+
+  // At t0+60s row 0's renewed lease has lapsed too: stolen, generation 2.
+  const auto steal = b.claim(t0 + 60'000);
+  ASSERT_TRUE(steal.has_value());
+  EXPECT_EQ(steal->row, 0u);
+  EXPECT_TRUE(steal->stolen);
+  EXPECT_EQ(steal->generation, 2u);
+
+  // The original holder's renewal now fails — its lease is gone.
+  EXPECT_FALSE(a.renew(*ca, t0 + 61'000));
+}
+
+TEST(LeaseTable, ZombieWriterIsFencedAndDuplicatesDedupe) {
+  const TempDir dir("fence");
+  const sim::SweepSpec spec = tiny_sweep({"mcf"}, {sim::Technique::RefrintRPV});
+  LeaseTable a, b;
+  ASSERT_TRUE(a.create(dir.str(), spec, "worker-a"));
+  ASSERT_TRUE(b.open(dir.str(), "worker-b"));
+
+  const std::int64_t t0 = 5'000'000;
+  const auto ca = a.claim(t0);
+  ASSERT_TRUE(ca.has_value());
+
+  // A stalls past its TTL; B steals the row and completes it.
+  const auto cb = b.claim(t0 + 31'000);
+  ASSERT_TRUE(cb.has_value());
+  EXPECT_EQ(cb->row, ca->row);
+  EXPECT_EQ(b.complete(*cb, sample_comparison(0.0)), AppendStatus::kOk);
+
+  // The zombie wakes up with a *different* result: the stale lease fences
+  // the append — the journal must not gain a conflicting cell.
+  EXPECT_EQ(a.complete(*ca, sample_comparison(99.0)), AppendStatus::kFenced);
+  // With the *identical* result the row digest matches: deduplicated, and
+  // also nothing written.
+  EXPECT_EQ(a.complete(*ca, sample_comparison(0.0)), AppendStatus::kDuplicate);
+  EXPECT_EQ(a.fail(*ca, sim::RunError{"mcf", "rpv", "late", "run"}),
+            AppendStatus::kDuplicate);
+
+  const TableState st = b.load_state();
+  ASSERT_TRUE(st.ok);
+  EXPECT_TRUE(st.resolved());
+  EXPECT_EQ(st.completed, 1u);
+  EXPECT_FALSE(st.conflict);
+  EXPECT_EQ(st.rows[0].owner, "worker-b");
+  std::size_t cells = 0;
+  for (const auto& rec : resilience::JournalFile::load(LeaseTable::journal_path(dir.str()))
+                             .records) {
+    cells += rec.kind == "cell" ? 1 : 0;
+  }
+  EXPECT_EQ(cells, 1u);  // B's append only; the zombie never journaled.
+}
+
+TEST(LeaseTable, ConflictingDigestsAreAHardIntegrityError) {
+  const TempDir dir("conflict");
+  const sim::SweepSpec spec = tiny_sweep({"mcf"}, {sim::Technique::RefrintRPV});
+  LeaseTable a;
+  ASSERT_TRUE(a.create(dir.str(), spec, "worker-a"));
+  const auto ca = a.claim(1000);
+  ASSERT_TRUE(ca.has_value());
+  ASSERT_EQ(a.complete(*ca, sample_comparison(0.0)), AppendStatus::kOk);
+
+  // Forge what a mismatched binary would do: a second success cell for the
+  // same row with a different digest (the append/append race the fence
+  // cannot close is resolved at read time).
+  const std::string data = sim::encode_comparisons({sample_comparison(99.0)});
+  resilience::JournalFile raw;
+  ASSERT_TRUE(raw.open(LeaseTable::journal_path(dir.str()), /*truncate=*/false));
+  resilience::JournalRecord rec;
+  rec.kind = "cell";
+  rec.fields = {{"row", "0"},
+                {"id", hex_u64(ca->lease_id)},
+                {"gen", "1"},
+                {"digest", hex_u64(sim::fingerprint_hash(data))},
+                {"owner", "evil-twin"},
+                {"data", to_hex(data)}};
+  ASSERT_TRUE(raw.append(rec));
+  raw.close();
+
+  const TableState st = a.load_state();
+  ASSERT_TRUE(st.ok);
+  EXPECT_TRUE(st.conflict);
+
+  CoordinatorOptions opts;
+  opts.dir = dir.str();
+  opts.quiet = true;
+  const CollectResult collected = wait_and_collect(opts);
+  EXPECT_FALSE(collected.ok);
+  EXPECT_TRUE(collected.integrity_error);
+  EXPECT_EQ(report_collect(collected, opts), kExitIntegrity);
+}
+
+TEST(LeaseTable, DamagedInteriorJournalLinesAreSkippedNotFatal) {
+  const TempDir dir("damage");
+  const sim::SweepSpec spec = tiny_sweep({"mcf"}, {sim::Technique::RefrintRPV});
+  LeaseTable a;
+  ASSERT_TRUE(a.create(dir.str(), spec, "worker-a"));
+  const auto ca = a.claim(1000);
+  ASSERT_TRUE(ca.has_value());
+
+  // A crashed writer's torn fragment lands mid-file (no trailing newline
+  // would glue it to the next line; here it sits on its own line).
+  {
+    std::ofstream out(LeaseTable::journal_path(dir.str()), std::ios::app | std::ios::binary);
+    out << "{\"v\":1,\"kind\":\"cell\",\"row\":\"0\",\"dig\n";
+  }
+  ASSERT_EQ(a.complete(*ca, sample_comparison(0.0)), AppendStatus::kOk);
+
+  const TableState st = a.load_state();
+  ASSERT_TRUE(st.ok) << st.error;
+  EXPECT_EQ(st.damaged_lines, 1u);
+  EXPECT_TRUE(st.resolved());
+  EXPECT_EQ(st.completed, 1u);
+}
+
+// ------------------------------------------------------- worker + coordinator
+
+TEST(ServiceEndToEnd, WorkerResolvesSweepByteIdenticalToRunSweep) {
+  const TempDir dir("e2e");
+  const sim::SweepSpec spec = tiny_sweep({"gamess", "gobmk"}, {sim::Technique::RefrintRPV});
+
+  std::string plan_error;
+  ASSERT_TRUE(plan_service(dir.str(), spec, plan_error)) << plan_error;
+
+  resilience::clear_shutdown();
+  const std::string saved_memo = sim::RunCache::instance().disk_dir();
+  WorkerOptions wopts;
+  wopts.dir = dir.str();
+  wopts.owner = "inproc";
+  wopts.quiet = true;
+  const WorkerReport rep = run_worker(wopts);
+  sim::RunCache::instance().set_disk_dir(saved_memo);
+  ASSERT_TRUE(rep.ok()) << rep.error;
+  EXPECT_EQ(rep.rows_completed, 2u);
+  EXPECT_FALSE(rep.interrupted);
+
+  CoordinatorOptions copts;
+  copts.dir = dir.str();
+  copts.csv_path = (dir.path / "service.csv").string();
+  copts.quiet = true;
+  const CollectResult collected = wait_and_collect(copts);
+  ASSERT_TRUE(collected.ok) << collected.error;
+
+  sim::RunCache::instance().clear();
+  const sim::SweepResult direct = sim::run_sweep(spec);
+  const std::string direct_csv = (dir.path / "direct.csv").string();
+  sim::write_csv(direct, direct_csv);
+
+  EXPECT_EQ(read_file(copts.csv_path), read_file(direct_csv));
+  EXPECT_EQ(sim::figure_report(collected.result, "sweep"),
+            sim::figure_report(direct, "sweep"));
+  EXPECT_EQ(report_collect(collected, CoordinatorOptions{}), 0);
+}
+
+TEST(ServiceEndToEnd, FailedWorkloadsMirrorRunSweepErrors) {
+  const TempDir dir("errors");
+  const sim::SweepSpec spec =
+      tiny_sweep({"gamess", "no-such-benchmark"}, {sim::Technique::RefrintRPV});
+
+  std::string plan_error;
+  ASSERT_TRUE(plan_service(dir.str(), spec, plan_error)) << plan_error;
+
+  resilience::clear_shutdown();
+  const std::string saved_memo = sim::RunCache::instance().disk_dir();
+  WorkerOptions wopts;
+  wopts.dir = dir.str();
+  wopts.owner = "inproc";
+  wopts.quiet = true;
+  const WorkerReport rep = run_worker(wopts);
+  sim::RunCache::instance().set_disk_dir(saved_memo);
+  ASSERT_TRUE(rep.ok()) << rep.error;
+  EXPECT_EQ(rep.rows_completed, 1u);
+  EXPECT_EQ(rep.rows_failed, 1u);
+
+  CoordinatorOptions copts;
+  copts.dir = dir.str();
+  copts.quiet = true;
+  const CollectResult collected = wait_and_collect(copts);
+  ASSERT_TRUE(collected.ok) << collected.error;
+
+  sim::RunCache::instance().clear();
+  const sim::SweepResult direct = sim::run_sweep(spec);
+  ASSERT_EQ(collected.result.errors.size(), direct.errors.size());
+  ASSERT_EQ(collected.result.errors.size(), 1u);
+  EXPECT_EQ(collected.result.errors[0].workload, direct.errors[0].workload);
+  EXPECT_EQ(collected.result.errors[0].technique, direct.errors[0].technique);
+  EXPECT_EQ(collected.result.errors[0].what, direct.errors[0].what);
+  EXPECT_EQ(collected.result.errors[0].phase, direct.errors[0].phase);
+  EXPECT_EQ(sim::figure_report(collected.result, "sweep"),
+            sim::figure_report(direct, "sweep"));
+  EXPECT_EQ(report_collect(collected, CoordinatorOptions{}), 3);
+}
+
+// ----------------------------------------------------------------- chaos gate
+
+TEST(ServiceChaos, CrashKnobIsEnvGated) {
+  SystemConfig cfg = tiny();
+  cfg.service.crash_after_rows = 7;
+  ::unsetenv("ESTEEM_CHAOS");
+  ::unsetenv("ESTEEM_CRASH_AFTER_ROWS");
+  EXPECT_EQ(resolve_crash_after_rows(cfg), 0u);  // config alone never arms it
+
+  ::setenv("ESTEEM_CHAOS", "1", 1);
+  EXPECT_EQ(resolve_crash_after_rows(cfg), 7u);
+  ::setenv("ESTEEM_CRASH_AFTER_ROWS", "2", 1);
+  EXPECT_EQ(resolve_crash_after_rows(cfg), 2u);
+  ::unsetenv("ESTEEM_CHAOS");
+  ::unsetenv("ESTEEM_CRASH_AFTER_ROWS");
+}
+
+}  // namespace
+}  // namespace esteem::service

@@ -15,6 +15,13 @@
 //                              drain the sweep gracefully (completed rows
 //                              are kept and journaled, queued work is
 //                              skipped) and exit with code 5.
+//     --serve DIR              sweep-as-a-service: plan the --sweep into DIR
+//                              and wait for `esteem_workerd --worker DIR`
+//                              processes to resolve the rows instead of
+//                              running them here; the report/CSV are
+//                              byte-identical to the in-process sweep. Exit
+//                              codes add 6 (integrity conflict) to the sweep
+//                              protocol.
 //     --journal FILE           crash-safe sweep journal: append every
 //                              completed workload row (fsync'd, CRC'd
 //                              JSONL) as it finishes
@@ -64,25 +71,29 @@
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "resilience/shutdown.hpp"
+#include "service/coordinator.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 #include "sim/run_cache.hpp"
 #include "sim/runner.hpp"
 #include "sim/sweep_journal.hpp"
 #include "sim/task_pool.hpp"
+#include "sweep_cli_common.hpp"
 #include "telemetry/telemetry.hpp"
 #include "trace/spec_profiles.hpp"
 
 namespace {
 
 using namespace esteem;
+using esteem::tools::parse_sweep_workload;
+using esteem::tools::split_csv;
 
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg != nullptr) std::fprintf(stderr, "error: %s\n", msg);
   std::fprintf(stderr,
                "usage: esteem_cli [--workload A[,B]] [--technique NAME]\n"
                "                  [--sweep WL[,WL]] [--techniques A[,B]]\n"
-               "                  [--journal FILE] [--resume FILE]\n"
+               "                  [--serve DIR] [--journal FILE] [--resume FILE]\n"
                "                  [--jobs N] [--csv FILE] [--config FILE]\n"
                "                  [--instr N] [--warmup N] [--seed N]\n"
                "                  [--compare] [--timeline FILE]\n"
@@ -91,16 +102,6 @@ using namespace esteem;
                "                  [--dump-config] [--dump-config-doc]\n"
                "                  [--list-workloads]\n");
   std::exit(2);
-}
-
-std::vector<std::string> split_csv(const std::string& s) {
-  std::vector<std::string> out;
-  std::istringstream is(s);
-  std::string item;
-  while (std::getline(is, item, ',')) {
-    if (!item.empty()) out.push_back(item);
-  }
-  return out;
 }
 
 void print_run(const sim::RunOutcome& out, bool faults_enabled) {
@@ -134,18 +135,6 @@ void print_run(const sim::RunOutcome& out, bool faults_enabled) {
   std::printf("%s", t.to_string().c_str());
 }
 
-/// Splits per-core benchmark names joined by '+' into one workload.
-esteem::trace::Workload parse_sweep_workload(const std::string& item) {
-  esteem::trace::Workload wl;
-  wl.name = item;
-  std::istringstream is(item);
-  std::string bench;
-  while (std::getline(is, bench, '+')) {
-    if (!bench.empty()) wl.benchmarks.push_back(bench);
-  }
-  return wl;
-}
-
 /// Runs sweep mode end to end; returns the process exit code (0 = all
 /// workloads completed, 3 = at least one workload errored, 5 = interrupted
 /// by SIGINT/SIGTERM after a graceful drain).
@@ -154,22 +143,9 @@ int run_sweep_mode(const SystemConfig& cfg, const std::string& sweep_arg,
                    instr_t instr, instr_t warmup, std::uint64_t seed,
                    unsigned jobs, const std::string& journal_path,
                    const std::string& resume_path) {
-  sim::SweepSpec spec;
-  spec.config = cfg;
-  spec.seed = seed;
-  spec.instr_per_core = instr;
-  spec.warmup_instr_per_core = warmup;
-  spec.threads = jobs;
-  for (const std::string& item : split_csv(sweep_arg)) {
-    spec.workloads.push_back(parse_sweep_workload(item));
-  }
+  sim::SweepSpec spec =
+      tools::build_sweep_spec(cfg, sweep_arg, techniques_arg, instr, warmup, seed, jobs);
   if (spec.workloads.empty()) usage("empty sweep workload list");
-  if (!techniques_arg.empty()) {
-    spec.techniques.clear();
-    for (const std::string& name : split_csv(techniques_arg)) {
-      spec.techniques.push_back(sim::parse_technique(name));
-    }
-  }
 
   sim::ResumeLoad resume;
   if (!resume_path.empty()) {
@@ -284,6 +260,7 @@ int main(int argc, char** argv) {
   std::string workload = "h264ref";
   std::string technique = "esteem";
   std::string sweep_arg;
+  std::string serve_dir;
   bool sweep_mode = false;
   std::string techniques_arg;
   std::string csv_path;
@@ -310,6 +287,7 @@ int main(int argc, char** argv) {
     if (arg == "--workload") workload = value();
     else if (arg == "--technique") technique = value();
     else if (arg == "--sweep") { sweep_mode = true; sweep_arg = value(); }
+    else if (arg == "--serve") serve_dir = value();
     else if (arg == "--techniques") techniques_arg = value();
     else if (arg == "--csv") csv_path = value();
     else if (arg == "--config") config_path = value();
@@ -363,28 +341,44 @@ int main(int argc, char** argv) {
       if (config_path.empty()) {
         // Paper defaults for the core count of the first sweep workload;
         // a mismatched workload later fails as a recorded sweep error.
-        const auto first = parse_sweep_workload(sweep_items.front());
-        cfg = first.benchmarks.size() >= 2 ? SystemConfig::dual_core()
-                                           : SystemConfig::single_core();
-        cfg.ncores = static_cast<std::uint32_t>(std::max<std::size_t>(
-            1, first.benchmarks.size()));
-        cfg.esteem.interval_cycles = std::max<cycle_t>(
-            cfg.retention_cycles(),
-            static_cast<cycle_t>(10e6 * 4.0 * static_cast<double>(instr) / 400e6));
-        cfg.esteem.hysteresis_intervals = 2;
-        cfg.esteem.shrink_confirm_intervals = 2;
+        cfg = tools::default_sweep_config(parse_sweep_workload(sweep_items.front()), instr);
       }
       if (dump_config) {
         save_config(cfg, std::cout);
         return 0;
+      }
+      if (!serve_dir.empty()) {
+        // Sweep-as-a-service: plan the rows, let esteem_workerd processes
+        // resolve them, aggregate — never simulate in this process.
+        if (!journal_path.empty() || !resume_path.empty()) {
+          usage("--serve uses DIR/service.journal; drop --journal/--resume");
+        }
+        const sim::SweepSpec spec = tools::build_sweep_spec(cfg, sweep_arg, techniques_arg,
+                                                            instr, warmup, seed, jobs);
+        std::string plan_error;
+        if (!service::plan_service(serve_dir, spec, plan_error)) {
+          std::fprintf(stderr, "error: %s\n", plan_error.c_str());
+          return 2;
+        }
+        resilience::install_signal_handlers();
+        std::printf("serving %zu row(s) from %s; run: esteem_workerd --worker %s\n",
+                    spec.workloads.size() * spec.techniques.size(), serve_dir.c_str(),
+                    serve_dir.c_str());
+        service::CoordinatorOptions copts;
+        copts.dir = serve_dir;
+        copts.csv_path = csv_path;
+        const service::CollectResult collected = service::wait_and_collect(copts);
+        const int code = service::report_collect(collected, copts);
+        flush_telemetry();
+        return code;
       }
       const int code = run_sweep_mode(cfg, sweep_arg, techniques_arg, csv_path, instr,
                                       warmup, seed, jobs, journal_path, resume_path);
       flush_telemetry();
       return code;
     }
-    if (!journal_path.empty() || !resume_path.empty()) {
-      usage("--journal/--resume require --sweep");
+    if (!journal_path.empty() || !resume_path.empty() || !serve_dir.empty()) {
+      usage("--journal/--resume/--serve require --sweep");
     }
 
     const std::vector<std::string> benchmarks = split_csv(workload);
