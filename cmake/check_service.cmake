@@ -21,6 +21,11 @@ endif()
 string(REGEX REPLACE "lease_ttl_ms = [0-9]+" "lease_ttl_ms = 1500" ini "${ini}")
 string(REGEX REPLACE "heartbeat_ms = [0-9]+" "heartbeat_ms = 300" ini "${ini}")
 string(REGEX REPLACE "poll_ms = [0-9]+" "poll_ms = 100" ini "${ini}")
+# Observability ON for the whole drill: workers flush sidecar snapshots while
+# crashing mid-lease, and step 6's byte-identity then pins the
+# zero-observer-effect guarantee ([observability] is excluded from the sweep
+# fingerprint, so the same config file still plans the same sweep).
+string(REGEX REPLACE "flush_ms = [0-9]+" "flush_ms = 200" ini "${ini}")
 file(WRITE ${WORKDIR}/service.ini "${ini}")
 
 # 1. Reference: the uninterrupted single-process sweep.
@@ -79,5 +84,42 @@ execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
                 RESULT_VARIABLE same)
 if(NOT same EQUAL 0)
   message(FATAL_ERROR "service CSV differs from the single-process sweep's")
+endif()
+
+# 7. The fleet view over the same journal: --status --json must report the
+#    sweep resolved and name the chaos casualties; the merged OpenMetrics
+#    must pass the strict checker; the merged trace must be writable.
+execute_process(COMMAND ${WORKERD} --status ${WORKDIR}/svc --json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE status ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--status --json failed (exit ${rc}): ${err}")
+endif()
+foreach(needle "\"v\":1" "\"completed\":6" "\"eta_ms\":0" "\"owner\":\"chaos-1\"")
+  string(FIND "${status}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "--status --json missing ${needle}: ${status}")
+  endif()
+endforeach()
+execute_process(COMMAND ${WORKERD} --status ${WORKDIR}/svc
+                        --metrics ${WORKDIR}/metrics.om
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--status --metrics failed (exit ${rc}): ${out}${err}")
+endif()
+execute_process(COMMAND ${WORKERD} --check-metrics ${WORKDIR}/metrics.om
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "OpenMetrics checker rejected the merged exposition "
+                      "(exit ${rc}): ${out}${err}")
+endif()
+execute_process(COMMAND ${WORKERD} --merge-trace ${WORKDIR}/svc
+                        --out ${WORKDIR}/trace.merged.json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--merge-trace failed (exit ${rc}): ${out}${err}")
+endif()
+file(SIZE ${WORKDIR}/trace.merged.json trace_bytes)
+if(trace_bytes LESS 100)
+  message(FATAL_ERROR "merged trace suspiciously small (${trace_bytes} bytes)")
 endif()
 file(REMOVE_RECURSE ${WORKDIR})

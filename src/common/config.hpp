@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/types.hpp"
 
@@ -149,6 +150,27 @@ struct ServiceConfig {
   std::uint32_t crash_after_rows = 0;
 };
 
+/// Fleet observability knobs (src/telemetry/export, src/service/observer;
+/// DESIGN.md §13). Like [resilience] and [service], these govern how a sweep
+/// is *watched*, never what a run computes, so they are excluded from memo
+/// fingerprints and sweep hashes, and the pinned zero-observer-effect
+/// guarantee holds: enabling them leaves CSV/report bytes unchanged.
+struct ObservabilityConfig {
+  /// Sidecar snapshot flush period in milliseconds: each service worker
+  /// appends a full CounterRegistry snapshot to its per-worker sidecar
+  /// journal this often (piggybacked on the heartbeat thread) plus once per
+  /// resolved row. 0 = observability plane off (no sidecars, no events).
+  std::uint32_t flush_ms = 0;
+  /// Cap on structured event records a worker journals per process run;
+  /// events beyond the cap are dropped and counted under
+  /// `observer.events_dropped`.
+  std::uint32_t events_max = 256;
+  /// When non-empty, the coordinator writes the merged OpenMetrics
+  /// exposition of every worker sidecar here after a successful collect
+  /// (`esteem_workerd --metrics FILE` overrides per invocation).
+  std::string metrics_path;
+};
+
 /// Parameters of the ESTEEM energy-saving algorithm (§3, §4, §7).
 struct EsteemParams {
   /// Hit-coverage threshold: keep enough ways on to cover >= alpha * hits.
@@ -205,6 +227,7 @@ struct SystemConfig {
   FaultConfig faults;
   ResilienceConfig resilience;
   ServiceConfig service;
+  ObservabilityConfig observability;
 
   cycle_t retention_cycles() const noexcept {
     return static_cast<cycle_t>(edram.retention_us * 1000.0 * freq_ghz);

@@ -107,6 +107,21 @@ ConfigKeySpec bool_key(std::string section, std::string key, std::string doc,
   return spec;
 }
 
+ConfigKeySpec str_key(std::string section, std::string key, std::string doc,
+                      std::function<void(SystemConfig&, std::string)> set,
+                      std::function<std::string(const SystemConfig&)> get) {
+  ConfigKeySpec spec;
+  spec.section = std::move(section);
+  spec.key = std::move(key);
+  spec.type = "str";
+  spec.doc = std::move(doc);
+  // Values arrive trimmed from the INI parser; no further validation — an
+  // empty value is the documented "off" for every string key.
+  spec.set = [set](SystemConfig& c, const std::string& v, const std::string&) { set(c, v); };
+  spec.get = [get](const SystemConfig& c) { return get(c); };
+  return spec;
+}
+
 std::vector<ConfigKeySpec> build_schema() {
   std::vector<ConfigKeySpec> s;
   s.push_back(int_key("system", "ncores", "Number of cores (1 or 2 in the paper)",
@@ -288,6 +303,19 @@ std::vector<ConfigKeySpec> build_schema() {
                       "Chaos hook: worker self-SIGKILLs mid-lease after completing N rows (0 = off; armed only with ESTEEM_CHAOS set)",
                       [](SystemConfig& c, std::uint64_t v) { c.service.crash_after_rows = static_cast<std::uint32_t>(v); },
                       [](const SystemConfig& c) -> std::uint64_t { return c.service.crash_after_rows; }));
+
+  s.push_back(int_key("observability", "flush_ms",
+                      "Sidecar snapshot flush period in ms for service workers (0 = observability plane off)",
+                      [](SystemConfig& c, std::uint64_t v) { c.observability.flush_ms = static_cast<std::uint32_t>(v); },
+                      [](const SystemConfig& c) -> std::uint64_t { return c.observability.flush_ms; }));
+  s.push_back(int_key("observability", "events_max",
+                      "Cap on structured event records a worker journals per run (overflow counted, not written)",
+                      [](SystemConfig& c, std::uint64_t v) { c.observability.events_max = static_cast<std::uint32_t>(v); },
+                      [](const SystemConfig& c) -> std::uint64_t { return c.observability.events_max; }));
+  s.push_back(str_key("observability", "metrics_path",
+                      "Coordinator writes the merged OpenMetrics exposition here after collect (empty = off)",
+                      [](SystemConfig& c, std::string v) { c.observability.metrics_path = std::move(v); },
+                      [](const SystemConfig& c) { return c.observability.metrics_path; }));
   return s;
 }
 

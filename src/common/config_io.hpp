@@ -32,7 +32,7 @@ namespace esteem {
 struct ConfigKeySpec {
   std::string section;  ///< INI section, e.g. "l2".
   std::string key;      ///< Key within the section, e.g. "size_kb".
-  std::string type;     ///< "int" | "float" | "bool".
+  std::string type;     ///< "int" | "float" | "bool" | "str".
   std::string doc;      ///< One-line meaning (used in docs/CONFIG.md).
   std::function<void(SystemConfig&, const std::string&, const std::string&)> set;
   std::function<std::string(const SystemConfig&)> get;  ///< Serialized value.

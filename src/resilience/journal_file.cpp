@@ -2,10 +2,12 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "common/bytes.hpp"
 #include "resilience/crc32.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -45,7 +47,64 @@ bool scan_pair(const std::string& s, std::size_t& pos, std::string& key,
   return true;
 }
 
+/// Journal field values may not contain '"', '\\', or control bytes; labels
+/// (severity/source) come from code and CLI flags, so scrub rather than
+/// trust.
+std::string scrub_label(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20) c = '_';
+  }
+  return out;
+}
+
 }  // namespace
+
+JournalRecord EventRecord::to_journal() const {
+  char sim[32];
+  std::snprintf(sim, sizeof sim, "%.3f", sim_us);
+  JournalRecord rec;
+  rec.kind = "evt";
+  rec.fields = {{"t", std::to_string(t_ms)},
+                {"sim", sim},
+                {"sev", scrub_label(severity)},
+                {"src", scrub_label(source)},
+                {"lease", hex_u64(lease_id)},
+                {"row", std::to_string(row)},
+                {"msg", to_hex(message)}};
+  return rec;
+}
+
+bool EventRecord::from_journal(const JournalRecord& rec, EventRecord& out) {
+  if (rec.kind != "evt") return false;
+  EventRecord ev;
+  {
+    const std::string& t = rec.field("t");
+    char* end = nullptr;
+    ev.t_ms = std::strtoll(t.c_str(), &end, 10);
+    if (t.empty() || end != t.c_str() + t.size()) return false;
+  }
+  {
+    const std::string& sim = rec.field("sim");
+    char* end = nullptr;
+    ev.sim_us = std::strtod(sim.c_str(), &end);
+    if (sim.empty() || end != sim.c_str() + sim.size()) return false;
+  }
+  ev.severity = rec.field("sev");
+  ev.source = rec.field("src");
+  if (!parse_hex_u64(rec.field("lease"), ev.lease_id)) return false;
+  {
+    const std::string& row = rec.field("row");
+    char* end = nullptr;
+    ev.row = std::strtoull(row.c_str(), &end, 10);
+    if (row.empty() || end != row.c_str() + row.size()) return false;
+  }
+  const auto msg = from_hex(rec.field("msg"));
+  if (!msg) return false;
+  ev.message = *msg;
+  out = std::move(ev);
+  return true;
+}
 
 const std::string& JournalRecord::field(const std::string& key) const {
   for (const auto& [k, v] : fields) {

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -44,6 +45,32 @@ struct JournalRecord {
 
   /// First value stored under `key`; "" when absent.
   const std::string& field(const std::string& key) const;
+};
+
+/// Structured observability event — the shared `evt` record kind of the
+/// journal schema (DESIGN.md §13). Every journal/sidecar writer that wants
+/// to log "something happened" uses this shape, so loaders across the
+/// service can decode each other's events: a severity, both clock domains
+/// (wall milliseconds always; simulated microseconds when the event came
+/// from inside a run, else negative), the emitting source, an optional
+/// lease/row context, and a free-form message (hex-encoded on the wire —
+/// journal values may not contain quotes or backslashes).
+struct EventRecord {
+  /// `row` value meaning "no row context".
+  static constexpr std::uint64_t kNoRow = ~0ULL;
+
+  std::int64_t t_ms = 0;        ///< Wall clock, ms since the Unix epoch.
+  double sim_us = -1.0;         ///< Simulated time; < 0 = not applicable.
+  std::string severity;         ///< "info" | "warn" | "error".
+  std::string source;           ///< Emitting owner/component.
+  std::string message;          ///< Free-form text (any bytes).
+  std::uint64_t lease_id = 0;   ///< 0 = no lease context.
+  std::uint64_t row = kNoRow;
+
+  /// Renders as an `evt` JournalRecord (field order fixed by the schema).
+  JournalRecord to_journal() const;
+  /// Inverse of to_journal(); false when `rec` is not a decodable event.
+  static bool from_journal(const JournalRecord& rec, EventRecord& out);
 };
 
 struct JournalLoadResult {

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "resilience/shutdown.hpp"
+#include "service/observer.hpp"
 #include "sim/report.hpp"
 #include "sim/sweep_journal.hpp"
 
@@ -113,13 +114,10 @@ CollectResult wait_and_collect(const CoordinatorOptions& opts) {
     }
     const std::size_t resolved = st.completed + st.failed;
     if (!opts.quiet && resolved != last_resolved) {
-      std::size_t leased = 0;
-      const std::int64_t now = LeaseTable::wall_ms();
-      for (const RowState& r : st.rows) {
-        if (!r.resolved() && r.leased(now)) ++leased;
-      }
-      std::fprintf(stderr, "[coordinator] %zu/%zu rows resolved (%zu failed, %zu leased)\n",
-                   resolved, st.rows.size(), st.failed, leased);
+      // The same fleet line --status and esteem_cli --serve print: one
+      // source of truth (collect_fleet_status), so the surfaces cannot skew.
+      const FleetStatus fs = collect_fleet_status(table, st, LeaseTable::wall_ms());
+      std::fprintf(stderr, "%s\n", progress_line(fs).c_str());
       last_resolved = resolved;
     }
     if (st.resolved()) break;
@@ -140,6 +138,23 @@ CollectResult wait_and_collect(const CoordinatorOptions& opts) {
 
   out.result = aggregate_rows(table, st);
   if (!opts.csv_path.empty()) sim::write_csv(out.result, opts.csv_path);
+
+  // Post-run fleet metrics: flag wins, else the planned sweep's
+  // [observability] metrics_path. Best-effort and stderr-only — the stdout
+  // report stays byte-identical to the in-process sweep.
+  const std::string metrics = !opts.metrics_path.empty()
+                                  ? opts.metrics_path
+                                  : table.spec().config.observability.metrics_path;
+  if (!metrics.empty()) {
+    std::string merr;
+    if (write_fleet_metrics(opts.dir, metrics, merr)) {
+      if (!opts.quiet) {
+        std::fprintf(stderr, "[coordinator] metrics written to %s\n", metrics.c_str());
+      }
+    } else {
+      std::fprintf(stderr, "[coordinator] metrics not written: %s\n", merr.c_str());
+    }
+  }
   out.ok = true;
   return out;
 }

@@ -20,6 +20,10 @@ inline constexpr int kExitTimeout = 7;    ///< --timeout-ms elapsed unresolved.
 struct CoordinatorOptions {
   std::string dir;       ///< Planned service directory.
   std::string csv_path;  ///< "" = no CSV.
+  /// Merged OpenMetrics exposition written after a successful collect; ""
+  /// falls back to the planned sweep's [observability] metrics_path (and ""
+  /// there means none). Stderr-only notice — stdout report bytes are pinned.
+  std::string metrics_path;
   std::uint32_t timeout_ms = 0;  ///< Give up waiting after this long; 0 = never.
   bool quiet = false;            ///< Suppress progress lines on stderr.
 };

@@ -89,6 +89,7 @@ bool LeaseTable::write_header() {
                 {"wire", dec(kWireVersion)},
                 {"nwl", dec(spec_.workloads.size())},
                 {"ntech", dec(spec_.techniques.size())},
+                {"t", dec(static_cast<std::uint64_t>(wall_ms()))},
                 {"spec", to_hex(bytes)}};
   if (!file_.append(rec)) {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -248,6 +249,7 @@ TableState LeaseTable::load_state() const {
       if (r.resolved()) continue;  // First terminal record wins.
       const auto what = from_hex(rec.field("what"));
       r.failed = true;
+      if (!rec.field("owner").empty()) r.owner = rec.field("owner");
       r.error.workload = rec.field("workload");
       r.error.technique = rec.field("technique");
       r.error.phase = rec.field("phase");
@@ -379,6 +381,7 @@ AppendStatus LeaseTable::complete(const LeaseClaim& claim,
                 {"gen", dec(claim.generation)},
                 {"digest", hex_u64(digest)},
                 {"owner", owner_},
+                {"t", dec(static_cast<std::uint64_t>(wall_ms()))},
                 {"data", to_hex(data)}};
   if (!file_.append(rec)) {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -412,6 +415,8 @@ AppendStatus LeaseTable::fail(const LeaseClaim& claim, const sim::RunError& erro
   rec.fields = {{"row", dec(claim.row)},
                 {"id", hex_u64(claim.lease_id)},
                 {"gen", dec(claim.generation)},
+                {"owner", owner_},
+                {"t", dec(static_cast<std::uint64_t>(wall_ms()))},
                 {"workload", error.workload},
                 {"technique", error.technique},
                 {"phase", error.phase},

@@ -11,9 +11,15 @@
 //    "ttl":"30000","t":"<ms>","crc":...}
 //   {"v":1,"kind":"hb","row":"7","id":...,"t":"<ms>","crc":...}
 //   {"v":1,"kind":"cell","row":"7","id":...,"gen":"2","digest":...,
-//    "owner":...,"data":"<hex>","crc":...}
-//   {"v":1,"kind":"err","row":"7","id":...,"workload":"mcf",
-//    "technique":"esteem","phase":"run","what":"<hex>","crc":...}
+//    "owner":...,"t":"<ms>","data":"<hex>","crc":...}
+//   {"v":1,"kind":"err","row":"7","id":...,"owner":...,"t":"<ms>",
+//    "workload":"mcf","technique":"esteem","phase":"run","what":"<hex>",
+//    "crc":...}
+//
+// The `t` wall-clock stamps on svc/cell/err (alongside lease/hb's) exist for
+// the observability plane: claim->resolution durations feed the --status ETA
+// and the merged trace (src/service/observer.hpp). Loaders treat them as
+// optional, so journals written before the field existed still replay.
 //
 // Claiming is optimistic: a worker appends a `lease` line and re-reads the
 // journal; the *last* lease line for a row wins (O_APPEND gives all writers
@@ -118,6 +124,7 @@ class LeaseTable {
   const trace::Workload& row_workload(std::size_t row) const;
   sim::Technique row_technique(std::size_t row) const;
   const std::string& owner() const noexcept { return owner_; }
+  const std::string& dir() const noexcept { return dir_; }
   /// By value: may be set from the heartbeat thread while the run loop reads.
   std::string last_error() const;
 

@@ -1,0 +1,179 @@
+// Fleet observability plane over the sweep service (DESIGN.md §13).
+//
+// Two halves:
+//
+//   Observer (writer)  — owned by a worker. Appends to a per-owner *sidecar*
+//     journal <dir>/telemetry/<owner>.sidecar.jsonl, never to the shared
+//     service journal: CounterRegistry snapshots (kind "snap", the JSONL
+//     codec of telemetry/export.hpp hex-wrapped into one record so a crash
+//     tears at most the snapshot being written — the previous one stands)
+//     and structured events (the shared "evt" record of
+//     resilience/journal_file.hpp), capped at [observability] events_max.
+//     Snapshot cadence is [observability] flush_ms, piggybacked on the
+//     heartbeat thread via flush_due(); flush_ms = 0 keeps the whole plane
+//     off. Everything is best-effort: an unwritable sidecar degrades to
+//     running blind, it never fails the row.
+//
+//   Fleet aggregation (reader) — collect_fleet_status() replays the service
+//     journal for per-worker attribution (heartbeat ages via lease-id ->
+//     owner, rows done/failed/stolen) and folds in the sidecars (memo hit
+//     rate, event feed), deriving a sweep ETA from observed row durations.
+//     Rendered three ways that share one source of truth: progress_line()
+//     (the coordinator's and `esteem_cli --serve`'s stderr heartbeat),
+//     status_json() (versioned, stable key order — the `--status --json`
+//     contract), and the human `--status` table. write_fleet_metrics()
+//     merges every worker's latest snapshot under the exact semantics of
+//     merge_snapshots() and writes the OpenMetrics exposition;
+//     write_merged_trace() stitches the journal + sidecars into one
+//     Perfetto-loadable Chrome trace (coordinator as pid 0, one pid per
+//     worker).
+//
+// Observer-effect contract: nothing here touches the result path — sidecars
+// are separate files, progress goes to stderr, and the service sweep's
+// CSV/report bytes are pinned identical with the plane on and off.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "resilience/journal_file.hpp"
+#include "service/lease_table.hpp"
+#include "telemetry/export.hpp"
+
+namespace esteem::service {
+
+/// Sidecar directory of a service dir: <dir>/telemetry.
+std::string telemetry_dir(const std::string& dir);
+
+/// Sidecar journal path for one worker owner (owner is sanitized into a
+/// file name the same way run labels are).
+std::string sidecar_path(const std::string& dir, const std::string& owner);
+
+/// Per-worker sidecar writer. Thread-safe: the worker loop appends events
+/// and end-of-row snapshots while the heartbeat thread drives flush_due().
+class Observer {
+ public:
+  /// Opens (creating the telemetry dir if needed) this owner's sidecar for
+  /// appending. False with the reason in last_error() — callers warn and
+  /// continue without observability.
+  bool open(const std::string& dir, const std::string& owner,
+            const ObservabilityConfig& cfg);
+
+  bool enabled() const noexcept { return enabled_; }
+  const std::string& last_error() const noexcept { return last_error_; }
+
+  /// Appends one structured event (severity "info" | "warn" | "error").
+  /// Silently dropped once events_max records were written (the drop count
+  /// is visible as the observer.events_dropped counter).
+  void event(const std::string& severity, const std::string& message,
+             std::uint64_t lease_id = 0,
+             std::uint64_t row = resilience::EventRecord::kNoRow);
+
+  /// Snapshots the global CounterRegistry into one "snap" record now.
+  void flush_snapshot();
+
+  /// Heartbeat piggyback: flush_snapshot() when flush_ms elapsed since the
+  /// last snapshot, else a no-op.
+  void flush_due();
+
+ private:
+  void flush_locked(std::unique_lock<std::mutex>& lock);
+
+  mutable std::mutex mutex_;
+  resilience::JournalFile file_;
+  std::string owner_;
+  ObservabilityConfig cfg_;
+  bool enabled_ = false;
+  std::string last_error_;
+  std::uint64_t seq_ = 0;
+  std::size_t events_written_ = 0;
+  std::int64_t last_flush_ms_ = 0;
+};
+
+/// One worker's decoded sidecar.
+struct WorkerTelemetry {
+  std::string owner;
+  std::vector<telemetry::Snapshot> snapshots;       ///< File (= seq) order.
+  std::vector<resilience::EventRecord> events;      ///< File order.
+  std::size_t damaged_lines = 0;                    ///< Torn/garbled records skipped.
+};
+
+/// Loads every sidecar under <dir>/telemetry, owner-sorted. Torn tails and
+/// damaged interior lines are skipped and counted (and tick the shared
+/// journal.damaged_lines counter), never fatal.
+std::vector<WorkerTelemetry> load_worker_telemetry(const std::string& dir);
+
+/// Health of one worker as seen from the journal + its sidecar.
+struct WorkerHealth {
+  std::string owner;
+  std::int64_t last_seen_ms = 0;       ///< Latest journal/sidecar timestamp; 0 = never.
+  std::int64_t heartbeat_age_ms = -1;  ///< now - last_seen; -1 = never seen.
+  bool alive = false;                  ///< heartbeat age < lease TTL.
+  std::size_t rows_done = 0;
+  std::size_t rows_failed = 0;
+  std::size_t rows_stolen = 0;         ///< Re-leases of expired foreign leases.
+  double memo_hit_rate = -1.0;         ///< From the latest snapshot; -1 = unknown.
+  std::size_t events = 0;              ///< Sidecar event records.
+  std::size_t sidecar_damaged = 0;
+};
+
+/// The fleet view `--status`, `--status --json`, and the coordinator's
+/// progress line all render from.
+struct FleetStatus {
+  std::uint64_t sweep_hash = 0;
+  std::int64_t now_ms = 0;
+  std::size_t rows = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t leased = 0;  ///< Unresolved rows under a live lease.
+  bool conflict = false;
+  std::size_t damaged_lines = 0;  ///< Service journal + all sidecars.
+  /// Milliseconds to resolution at the observed per-row duration spread over
+  /// live workers; -1 = unknown (no finished row yet, or nobody alive),
+  /// 0 = already resolved.
+  std::int64_t eta_ms = -1;
+  std::vector<WorkerHealth> workers;  ///< Owner-sorted.
+  /// Merged sidecar event feed, time-sorted, newest kept (capped).
+  std::vector<resilience::EventRecord> recent_events;
+};
+
+/// Cap on FleetStatus::recent_events (and the events array of status_json).
+inline constexpr std::size_t kStatusEventCap = 50;
+
+/// Aggregates an already-loaded table state with a journal replay and the
+/// sidecars into the fleet view. `now_ms` is caller-provided so tests can
+/// pin heartbeat ages and ETAs.
+FleetStatus collect_fleet_status(const LeaseTable& table, const TableState& state,
+                                 std::int64_t now_ms);
+
+/// Machine-readable fleet status: single line, versioned ("v":1), keys in a
+/// fixed documented order so downstream parsers (and the CI drill) cannot
+/// skew between esteem_workerd --status --json and esteem_cli --serve.
+std::string status_json(const FleetStatus& fs);
+
+/// One-line human progress summary (no trailing newline) — the shared
+/// stderr heartbeat of the coordinator, --serve, and --status headers.
+std::string progress_line(const FleetStatus& fs);
+
+/// Merges every worker's latest snapshot (exact merge semantics of
+/// telemetry/export.hpp) and writes the OpenMetrics exposition to `path`.
+/// False with `error` set when no worker wrote a snapshot yet or the file
+/// cannot be written.
+bool write_fleet_metrics(const std::string& dir, const std::string& path,
+                         std::string& error);
+
+/// Stitches the service journal and all sidecars into one Chrome trace:
+/// pid 0 is the coordinator (plan instant + rows_resolved counter), pid i+1
+/// is worker i (owner-sorted); per worker, tid 1 carries lease->resolution
+/// row spans ("workload/technique", lost leases marked), tid 2 carries
+/// event instants, and a rows_done counter tracks its snapshots. Timestamps
+/// are wall milliseconds rebased to the earliest journal record. False with
+/// `error` set when the journal is unreadable or the file cannot be written.
+bool write_merged_trace(const std::string& dir, const std::string& out_path,
+                        std::string& error);
+
+}  // namespace esteem::service

@@ -58,6 +58,9 @@ void put_config(ByteWriter& w, const SystemConfig& c) {
   w.u32(c.service.heartbeat_ms);
   w.u32(c.service.poll_ms);
   w.u32(c.service.crash_after_rows);
+  w.u32(c.observability.flush_ms);
+  w.u32(c.observability.events_max);
+  w.str(c.observability.metrics_path);
 }
 
 bool get_bool(ByteReader& r, bool& v) {
@@ -88,7 +91,9 @@ bool get_config(ByteReader& r, SystemConfig& c) {
          r.u32(c.faults.max_tracked_extension) && r.u32(c.resilience.run_deadline_ms) &&
          r.u32(c.resilience.max_retries) && r.u32(c.resilience.backoff_ms) &&
          r.u32(c.service.lease_ttl_ms) && r.u32(c.service.heartbeat_ms) &&
-         r.u32(c.service.poll_ms) && r.u32(c.service.crash_after_rows);
+         r.u32(c.service.poll_ms) && r.u32(c.service.crash_after_rows) &&
+         r.u32(c.observability.flush_ms) && r.u32(c.observability.events_max) &&
+         r.str(c.observability.metrics_path);
 }
 
 }  // namespace

@@ -3,8 +3,9 @@
 // bit-exactly (INI round-trips truncate floats; this codec is f64-exact).
 //
 // Only result-determining fields plus the execution-policy sections
-// ([resilience], [service]) are encoded; the journal/resume pointers and the
-// thread count are deliberately excluded — they never change a row's bytes.
+// ([resilience], [service], [observability]) are encoded; the journal/resume
+// pointers and the thread count are deliberately excluded — they never
+// change a row's bytes.
 //
 // Skew guard: the service header stores both these bytes and the sweep's
 // fingerprint hash. A worker recomputes the hash from the *decoded* spec and
@@ -21,7 +22,8 @@
 namespace esteem::service {
 
 /// Bump when the encoding changes; a mismatched journal is refused.
-inline constexpr std::uint32_t kWireVersion = 1;
+/// v2: [observability] joined the execution-policy sections.
+inline constexpr std::uint32_t kWireVersion = 2;
 
 std::string encode_sweep_spec(const sim::SweepSpec& spec);
 

@@ -1,5 +1,6 @@
 #include "service/worker.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -18,8 +19,10 @@
 #include "common/env.hpp"
 #include "resilience/shutdown.hpp"
 #include "service/lease_table.hpp"
+#include "service/observer.hpp"
 #include "sim/run_cache.hpp"
 #include "sim/runner.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace esteem::service {
 
@@ -28,10 +31,19 @@ namespace {
 /// Renews one claim's lease every `period_ms` until destroyed. Stops early
 /// when the lease is observed lost (stolen after a stall) — the row's result
 /// will be fenced anyway, so there is nothing left to keep alive.
+///
+/// The observability plane piggybacks here: when an Observer is attached the
+/// thread wakes at min(heartbeat_ms, flush_ms) and asks the observer to
+/// flush a due snapshot on every wake, while leases are still renewed only
+/// on the heartbeat cadence. One background thread serves both duties — a
+/// worker stuck inside a long simulation keeps publishing telemetry exactly
+/// as long as it keeps its lease alive.
 class Heartbeat {
  public:
-  Heartbeat(LeaseTable& table, const LeaseClaim& claim, std::uint32_t period_ms)
-      : table_(table), claim_(claim), period_ms_(period_ms == 0 ? 1000 : period_ms),
+  Heartbeat(LeaseTable& table, const LeaseClaim& claim, std::uint32_t period_ms,
+            Observer* observer = nullptr)
+      : table_(table), claim_(claim), renew_ms_(period_ms == 0 ? 1000 : period_ms),
+        observer_(observer != nullptr && observer->enabled() ? observer : nullptr),
         thread_([this] { loop(); }) {}
 
   Heartbeat(const Heartbeat&) = delete;
@@ -49,12 +61,26 @@ class Heartbeat {
   bool lost() const noexcept { return lost_.load(std::memory_order_relaxed); }
 
  private:
+  std::uint32_t wake_ms(std::uint32_t flush_ms) const noexcept {
+    return observer_ != nullptr && flush_ms != 0 ? std::min(renew_ms_, flush_ms)
+                                                 : renew_ms_;
+  }
+
   void loop() {
+    const std::uint32_t period =
+        wake_ms(observer_ != nullptr ? flush_period_ms() : 0);
+    auto last_renew = std::chrono::steady_clock::now();
     std::unique_lock<std::mutex> lock(mutex_);
-    while (!cv_.wait_for(lock, std::chrono::milliseconds(period_ms_),
+    while (!cv_.wait_for(lock, std::chrono::milliseconds(period),
                          [this] { return stop_; })) {
       lock.unlock();
-      const bool renewed = table_.renew(claim_, LeaseTable::wall_ms());
+      if (observer_ != nullptr) observer_->flush_due();
+      const auto now = std::chrono::steady_clock::now();
+      bool renewed = true;
+      if (now - last_renew >= std::chrono::milliseconds(renew_ms_)) {
+        renewed = table_.renew(claim_, LeaseTable::wall_ms());
+        last_renew = now;
+      }
       lock.lock();
       if (!renewed) {
         lost_.store(true, std::memory_order_relaxed);
@@ -63,9 +89,14 @@ class Heartbeat {
     }
   }
 
+  std::uint32_t flush_period_ms() const {
+    return table_.spec().config.observability.flush_ms;
+  }
+
   LeaseTable& table_;
   const LeaseClaim claim_;
-  const std::uint32_t period_ms_;
+  const std::uint32_t renew_ms_;
+  Observer* const observer_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
@@ -122,6 +153,25 @@ WorkerReport run_worker(const WorkerOptions& opts) {
   }
   const sim::SweepSpec& spec = table.spec();
   const ServiceConfig& sc = spec.config.service;
+  const ObservabilityConfig& oc = spec.config.observability;
+
+  // Observability plane (off unless the planned sweep set [observability]
+  // flush_ms). Registry collection is enabled without any file outputs of
+  // its own; the sidecar is the only thing written, and a sidecar that
+  // cannot be opened degrades to running blind — never a fatal error.
+  Observer observer;
+  if (oc.flush_ms != 0) {
+    if (!telemetry::active()) {
+      telemetry::TelemetryConfig tc;
+      tc.counters = true;
+      telemetry::Telemetry::instance().configure(tc);
+    }
+    if (!observer.open(opts.dir, owner, oc)) {
+      std::fprintf(stderr, "[%s] observability disabled: %s\n", owner.c_str(),
+                   observer.last_error().c_str());
+    }
+    observer.event("info", "worker started");
+  }
 
   // Share simulations (the baseline above all: every technique row of a
   // workload needs it) across workers through the service-local memo
@@ -137,10 +187,24 @@ WorkerReport run_worker(const WorkerOptions& opts) {
                                         ? opts.crash_after_rows
                                         : resolve_crash_after_rows(spec.config);
 
+  // End-of-row bookkeeping for the sidecar: worker.* gauges mirror the
+  // report so the fleet status can show per-worker progress live, and a
+  // snapshot is flushed at every row boundary (the heartbeat thread covers
+  // the long stretches inside a run).
+  auto publish = [&rep, &observer]() {
+    if (!observer.enabled() || !telemetry::active()) return;
+    auto& reg = telemetry::registry();
+    reg.gauge("worker.rows_completed").set(static_cast<double>(rep.rows_completed));
+    reg.gauge("worker.rows_failed").set(static_cast<double>(rep.rows_failed));
+    reg.gauge("worker.rows_stolen").set(static_cast<double>(rep.rows_stolen));
+    observer.flush_snapshot();
+  };
+
   std::size_t resolved_by_me = 0;
   while (true) {
     if (resilience::shutdown_requested()) {
       rep.interrupted = true;
+      observer.event("warn", "interrupted (shutdown requested)");
       break;
     }
 
@@ -172,8 +236,12 @@ WorkerReport run_worker(const WorkerOptions& opts) {
       std::fprintf(stderr, "[%s] row %zu: %s/%s%s\n", owner.c_str(), claim->row,
                    wl.name.c_str(), tech_name.c_str(), claim->stolen ? " (stolen)" : "");
     }
+    observer.event("info",
+                   "claimed " + wl.name + "/" + tech_name +
+                       (claim->stolen ? " (stolen from an expired lease)" : ""),
+                   claim->lease_id, claim->row);
 
-    Heartbeat heartbeat(table, *claim, sc.heartbeat_ms);
+    Heartbeat heartbeat(table, *claim, sc.heartbeat_ms, &observer);
     std::optional<sim::TechniqueComparison> comparison;
     sim::RunError error;
     std::string phase_label = "baseline";
@@ -194,24 +262,43 @@ WorkerReport run_worker(const WorkerOptions& opts) {
     switch (status) {
       case AppendStatus::kOk:
         ++resolved_by_me;
-        if (comparison) ++rep.rows_completed;
-        else ++rep.rows_failed;
+        if (comparison) {
+          ++rep.rows_completed;
+          observer.event("info", "completed " + wl.name + "/" + tech_name,
+                         claim->lease_id, claim->row);
+        } else {
+          ++rep.rows_failed;
+          observer.event("error",
+                         "failed " + wl.name + "/" + tech_name + ": " + error.what,
+                         claim->lease_id, claim->row);
+        }
         break;
       case AppendStatus::kDuplicate:
         ++resolved_by_me;  // Row is resolved either way; chaos still advances.
         break;
       case AppendStatus::kFenced:
         ++rep.fenced;  // Stalled past TTL; the thief owns the row now.
+        observer.event("warn", "result fenced (lease lost past TTL)",
+                       claim->lease_id, claim->row);
         break;
       case AppendStatus::kConflict:
         rep.error = "integrity conflict on row " + std::to_string(claim->row) +
                     " (" + wl.name + "/" + tech_name + "): differing digests";
+        observer.event("error", rep.error, claim->lease_id, claim->row);
+        publish();
         return rep;
       case AppendStatus::kError:
         rep.error = table.last_error();
+        observer.event("error", rep.error, claim->lease_id, claim->row);
+        publish();
         return rep;
     }
+    publish();
   }
+  observer.event("info", "worker exiting (" + std::to_string(rep.rows_completed) +
+                             " completed, " + std::to_string(rep.rows_failed) +
+                             " failed)");
+  publish();
   return rep;
 }
 

@@ -28,7 +28,7 @@ void Counter::add(std::uint64_t v) noexcept {
 }
 
 void Gauge::set(double v) noexcept {
-  if (reg_ != nullptr) reg_->store(slot_, std::bit_cast<std::uint64_t>(v));
+  if (reg_ != nullptr) reg_->gauge_store(slot_, std::bit_cast<std::uint64_t>(v));
 }
 
 void Histogram::observe(std::uint64_t v) noexcept {
@@ -68,9 +68,17 @@ void CounterRegistry::bump(std::uint32_t slot, std::uint64_t v) noexcept {
   shard_cells(this_shard())[slot].v.fetch_add(v, std::memory_order_relaxed);
 }
 
-void CounterRegistry::store(std::uint32_t slot, std::uint64_t bits) noexcept {
-  // Gauges are last-write-wins; a single cell in shard 0 keeps them exact.
-  shard_cells(0)[slot].v.store(bits, std::memory_order_relaxed);
+void CounterRegistry::gauge_store(std::uint32_t slot, std::uint64_t bits) noexcept {
+  // Last-write-wins with a defined winner: each write takes a registry-wide
+  // sequence number and lands (value, seq) in the caller's own shard, so
+  // concurrent setters never contend on a cache line and the merge picks the
+  // pair with the highest sequence. The value is published before the
+  // sequence (release/acquire), so a reader that sees a sequence sees its
+  // value.
+  Cell* cells = shard_cells(this_shard());
+  const std::uint64_t seq = gauge_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  cells[slot].v.store(bits, std::memory_order_relaxed);
+  cells[slot + 1].v.store(seq, std::memory_order_release);
 }
 
 std::uint32_t CounterRegistry::register_metric(const std::string& name,
@@ -101,7 +109,7 @@ Counter CounterRegistry::counter(const std::string& name) {
 }
 
 Gauge CounterRegistry::gauge(const std::string& name) {
-  return Gauge(this, register_metric(name, MetricKind::Gauge, 1));
+  return Gauge(this, register_metric(name, MetricKind::Gauge, 2));
 }
 
 Histogram CounterRegistry::histogram(const std::string& name) {
@@ -122,10 +130,21 @@ double CounterRegistry::merged_value(const Meta& m) const {
     case MetricKind::Counter:
       return static_cast<double>(merged_u64(m.slot));
     case MetricKind::Gauge: {
-      const Cell* cells = shards_[0].cells.load(std::memory_order_acquire);
-      const std::uint64_t bits =
-          cells != nullptr ? cells[m.slot].v.load(std::memory_order_relaxed) : 0;
-      return std::bit_cast<double>(bits);
+      // Scan every shard's (value, seq) pair and take the highest sequence:
+      // sequences are unique (atomic increment), so the winner is the
+      // literally-last set() regardless of which thread issued it.
+      std::uint64_t best_bits = 0;
+      std::uint64_t best_seq = 0;
+      for (const Shard& shard : shards_) {
+        const Cell* cells = shard.cells.load(std::memory_order_acquire);
+        if (cells == nullptr) continue;
+        const std::uint64_t seq = cells[m.slot + 1].v.load(std::memory_order_acquire);
+        if (seq > best_seq) {
+          best_seq = seq;
+          best_bits = cells[m.slot].v.load(std::memory_order_relaxed);
+        }
+      }
+      return std::bit_cast<double>(best_bits);
     }
     case MetricKind::Histogram:
       return static_cast<double>(merged_u64(m.slot + kHistBuckets + 1));
@@ -149,7 +168,10 @@ std::vector<MetricSample> CounterRegistry::snapshot() const {
     s.name = m.name;
     s.kind = m.kind;
     s.value = merged_value(m);
-    if (m.kind == MetricKind::Histogram) {
+    if (m.kind == MetricKind::Counter) {
+      s.raw = merged_u64(m.slot);
+    } else if (m.kind == MetricKind::Histogram) {
+      s.raw = merged_u64(m.slot + kHistBuckets + 1);
       s.count = merged_u64(m.slot + kHistBuckets);
       s.buckets.resize(kHistBuckets);
       for (std::size_t b = 0; b < kHistBuckets; ++b) {
@@ -176,6 +198,32 @@ double CounterRegistry::value(const std::string& name) const {
 std::size_t CounterRegistry::size() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return metas_.size();
+}
+
+void CounterRegistry::absorb(const MetricSample& sample) {
+  switch (sample.kind) {
+    case MetricKind::Counter: {
+      const std::uint32_t slot = register_metric(sample.name, MetricKind::Counter, 1);
+      bump(slot, sample.raw);
+      break;
+    }
+    case MetricKind::Gauge: {
+      const std::uint32_t slot = register_metric(sample.name, MetricKind::Gauge, 2);
+      gauge_store(slot, std::bit_cast<std::uint64_t>(sample.value));
+      break;
+    }
+    case MetricKind::Histogram: {
+      const std::uint32_t slot =
+          register_metric(sample.name, MetricKind::Histogram, kHistBuckets + 2);
+      const std::size_t n = std::min(sample.buckets.size(), kHistBuckets);
+      for (std::size_t b = 0; b < n; ++b) {
+        bump(slot + static_cast<std::uint32_t>(b), sample.buckets[b]);
+      }
+      bump(slot + kHistBuckets, sample.count);
+      bump(slot + kHistBuckets + 1, sample.raw);
+      break;
+    }
+  }
 }
 
 void CounterRegistry::reset() {

@@ -84,6 +84,10 @@ struct MetricSample {
   MetricKind kind = MetricKind::Counter;
   /// Counter: total. Gauge: last set value. Histogram: sum of samples.
   double value = 0.0;
+  /// Counter: exact integer total; Histogram: exact integer sum. `value` is
+  /// the double cast of this (lossy past 2^53); the snapshot codec
+  /// (telemetry/export) serializes `raw` so cross-process merges stay exact.
+  std::uint64_t raw = 0;
   /// Histogram only: number of samples.
   std::uint64_t count = 0;
   /// Histogram only: bucket b counts samples with bit_width(v) == b
@@ -124,13 +128,23 @@ class CounterRegistry {
   /// Zeroes every cell; handles stay valid.
   void reset();
 
+  /// Folds one decoded sample into this registry (registering the metric on
+  /// first sight): counters add `raw`, gauges set `value` (a fresh write, so
+  /// it wins the last-write-wins order), histograms add buckets/count/sum
+  /// cell-wise. This is the registry half of the snapshot codec's exact
+  /// merge semantics; a kind mismatch with an existing metric throws
+  /// std::invalid_argument like the handle accessors do.
+  void absorb(const MetricSample& sample);
+
   /// snapshot() rendered as a JSON object keyed by metric name.
   std::string to_json() const;
 
  private:
   // Cell layout per metric:
   //   Counter:   1 slot  (uint64 sum, sharded)
-  //   Gauge:     1 slot  (double bits, shard 0 only, last-write-wins)
+  //   Gauge:     2 slots (double bits + write sequence, written to the
+  //              caller's shard; the shard merge takes the pair with the
+  //              highest sequence, pinning last-write-wins by timestamp)
   //   Histogram: kHistBuckets + 2 slots (buckets, count, sum; sharded)
   struct alignas(64) Cell {
     std::atomic<std::uint64_t> v{0};
@@ -159,12 +173,16 @@ class CounterRegistry {
   double merged_value(const Meta& m) const;
 
   void bump(std::uint32_t slot, std::uint64_t v) noexcept;
-  void store(std::uint32_t slot, std::uint64_t bits) noexcept;
+  void gauge_store(std::uint32_t slot, std::uint64_t bits) noexcept;
 
   mutable std::mutex mutex_;  ///< Guards registration and name lookup only.
   std::unordered_map<std::string, std::uint32_t> index_;  // name -> metas_ idx
   std::vector<Meta> metas_;
   std::atomic<std::uint32_t> next_slot_{0};
+  /// Registry-wide gauge write order: each set() takes the next sequence
+  /// number, so concurrent writers from different shards have a defined
+  /// winner at merge time (the literally-last write).
+  std::atomic<std::uint64_t> gauge_seq_{0};
   mutable std::array<Shard, kShards> shards_;
 };
 

@@ -1,0 +1,76 @@
+// Serializable CounterRegistry snapshots: the cross-process half of the
+// observability plane (DESIGN.md §13).
+//
+// A Snapshot is one process's registry at one wall-clock instant, rendered
+// sortable and mergeable. Two codecs:
+//
+//   JSONL          — one header line plus one line per metric, carrying the
+//                    *exact* integer totals (MetricSample::raw), so
+//                    encode -> decode -> absorb -> snapshot -> encode is
+//                    byte-identical (the round-trip test pins this).
+//   OpenMetrics    — the text exposition format scrapeable by Prometheus
+//                    and friends; counters gain the mandated `_total`
+//                    suffix, histograms become cumulative `le` buckets.
+//
+// Merge semantics are exact and commutative where the math allows:
+//   counters    — integer sum
+//   gauges      — last-write-wins by snapshot timestamp (ties: later
+//                 merge-order operand wins, mirroring file order)
+//   histograms  — bucket-wise integer add (plus count and sum)
+// A name carrying different kinds across snapshots throws
+// std::invalid_argument — the same contract CounterRegistry enforces
+// in-process.
+//
+// Layering: this file knows nothing about services or journals; the service
+// observer (src/service/observer) wraps encoded snapshots into sidecar
+// journal records.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/counter_registry.hpp"
+
+namespace esteem::telemetry {
+
+/// One process's registry snapshot, stamped with wall time and origin.
+struct Snapshot {
+  std::int64_t t_ms = 0;  ///< Wall clock (ms since the Unix epoch) when taken.
+  std::string source;     ///< Emitting owner ("merged" after a merge).
+  std::vector<MetricSample> metrics;  ///< Name-sorted (snapshot() order).
+};
+
+/// Snapshots `reg` into the codec's shape. `source` is scrubbed of bytes
+/// the line format cannot carry ('"', '\\', control characters).
+Snapshot take_snapshot(const CounterRegistry& reg, std::int64_t t_ms,
+                       const std::string& source);
+
+/// Canonical JSONL: a header line
+///   {"v":1,"kind":"snapshot","t":<ms>,"source":"...","n":<metrics>}
+/// followed by one line per metric in name order, each newline-terminated.
+std::string encode_snapshot_jsonl(const Snapshot& snap);
+
+/// Inverse of encode_snapshot_jsonl. Strict: any unknown field, kind, or
+/// count mismatch fails. Returns false leaving `out` untouched.
+bool decode_snapshot_jsonl(const std::string& text, Snapshot& out);
+
+/// Exact merge under the pinned semantics (see file header). Result metrics
+/// are name-sorted; t_ms is the max operand timestamp; source is "merged".
+/// Throws std::invalid_argument on a cross-snapshot kind mismatch.
+Snapshot merge_snapshots(const std::vector<Snapshot>& snaps);
+
+/// OpenMetrics text exposition of a snapshot, terminated by "# EOF\n".
+/// Metric names are mangled to `esteem_` + dotted name with every
+/// non-alphanumeric byte as '_'.
+std::string to_openmetrics(const Snapshot& snap);
+
+/// Strict OpenMetrics checker used by tests and CI: verifies the framing
+/// (one TYPE per family, samples grouped under their family, trailing
+/// "# EOF"), the sample grammar, and histogram invariants (cumulative
+/// non-decreasing buckets ending in le="+Inf" equal to _count). Returns
+/// true when `text` passes; otherwise false with a line-numbered reason in
+/// `error`.
+bool check_openmetrics(const std::string& text, std::string& error);
+
+}  // namespace esteem::telemetry

@@ -195,6 +195,51 @@ TEST(JournalFile, AppendOnClosedJournalFails) {
   EXPECT_FALSE(journal.last_error().empty());
 }
 
+TEST(EventRecordCodec, JournalRoundTripIsTotal) {
+  EventRecord ev;
+  ev.t_ms = 1722988800123;
+  ev.sim_us = 42.5;
+  ev.severity = "warn";
+  ev.source = "worker-1";
+  // Hex-wrapped payload: newlines and quotes must survive the line format.
+  ev.message = "claimed \"mcf/esteem\"\nsecond line";
+  ev.lease_id = 0xDEADBEEFCAFEF00DULL;
+  ev.row = 3;
+
+  const JournalRecord rec = ev.to_journal();
+  EXPECT_EQ(rec.kind, "evt");
+  // Through the full checksummed line codec, the way sidecars carry it.
+  JournalRecord decoded;
+  ASSERT_TRUE(JournalFile::decode(JournalFile::encode(rec), decoded));
+  EventRecord out;
+  ASSERT_TRUE(EventRecord::from_journal(decoded, out));
+  EXPECT_EQ(out.t_ms, ev.t_ms);
+  EXPECT_EQ(out.sim_us, 42.5);
+  EXPECT_EQ(out.severity, ev.severity);
+  EXPECT_EQ(out.source, ev.source);
+  EXPECT_EQ(out.message, ev.message);
+  EXPECT_EQ(out.lease_id, ev.lease_id);
+  EXPECT_EQ(out.row, 3u);
+
+  // Defaults (no row, no lease, no sim time) round-trip too.
+  EventRecord bare;
+  bare.severity = "info";
+  bare.source = "w";
+  ASSERT_TRUE(EventRecord::from_journal(bare.to_journal(), out));
+  EXPECT_EQ(out.row, EventRecord::kNoRow);
+  EXPECT_EQ(out.lease_id, 0u);
+  EXPECT_LT(out.sim_us, 0.0);
+  EXPECT_TRUE(out.message.empty());
+
+  // Foreign kinds and mangled fields are rejected, not misread.
+  EXPECT_FALSE(EventRecord::from_journal(sample_record(), out));
+  JournalRecord torn = ev.to_journal();
+  for (auto& [key, value] : torn.fields) {
+    if (key == "lease") value = "not-hex";
+  }
+  EXPECT_FALSE(EventRecord::from_journal(torn, out));
+}
+
 TEST(Shutdown, RequestAndClear) {
   clear_shutdown();
   EXPECT_FALSE(shutdown_requested());

@@ -16,8 +16,11 @@
 #include "resilience/shutdown.hpp"
 #include "service/coordinator.hpp"
 #include "service/lease_table.hpp"
+#include "service/observer.hpp"
 #include "service/wire.hpp"
 #include "service/worker.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
 #include "sim/report.hpp"
 #include "sim/run_cache.hpp"
 #include "sim/runner.hpp"
@@ -96,6 +99,9 @@ TEST(ServiceWire, RoundTripIsExact) {
   spec.config.esteem.alpha = 1.0 / 3.0;
   spec.config.l2.refresh_occupancy_cycles = 4.000000123456789;
   spec.config.service.lease_ttl_ms = 1234;
+  spec.config.observability.flush_ms = 250;
+  spec.config.observability.events_max = 99;
+  spec.config.observability.metrics_path = "out/metrics.om";
   spec.seed = 0xDEADBEEFCAFEF00DULL;
 
   sim::SweepSpec out;
@@ -103,6 +109,9 @@ TEST(ServiceWire, RoundTripIsExact) {
   EXPECT_EQ(out.config.esteem.alpha, spec.config.esteem.alpha);
   EXPECT_EQ(out.config.l2.refresh_occupancy_cycles, spec.config.l2.refresh_occupancy_cycles);
   EXPECT_EQ(out.config.service.lease_ttl_ms, 1234u);
+  EXPECT_EQ(out.config.observability.flush_ms, 250u);
+  EXPECT_EQ(out.config.observability.events_max, 99u);
+  EXPECT_EQ(out.config.observability.metrics_path, "out/metrics.om");
   EXPECT_EQ(out.seed, spec.seed);
   EXPECT_EQ(out.instr_per_core, spec.instr_per_core);
   ASSERT_EQ(out.workloads.size(), 2u);
@@ -381,6 +390,262 @@ TEST(ServiceEndToEnd, FailedWorkloadsMirrorRunSweepErrors) {
   EXPECT_EQ(sim::figure_report(collected.result, "sweep"),
             sim::figure_report(direct, "sweep"));
   EXPECT_EQ(report_collect(collected, CoordinatorOptions{}), 3);
+}
+
+// --------------------------------------------------------- observability plane
+
+// RAII guard: the hub is process-global; leave it off for later tests.
+struct TelemetryGuard {
+  ~TelemetryGuard() { telemetry::Telemetry::instance().configure({}); }
+};
+
+TEST(Observer, SidecarWriteLoadRoundTripAndEventCap) {
+  const TempDir dir("observer");
+  TelemetryGuard guard;
+  telemetry::TelemetryConfig tcfg;
+  tcfg.counters = true;
+  telemetry::Telemetry::instance().configure(tcfg);
+  // Private metric names: the registry is process-global and other tests in
+  // this binary tick memo.* themselves.
+  telemetry::registry().counter("obs.test.hits").add(3);
+  telemetry::registry().counter("obs.test.misses").add(1);
+
+  ObservabilityConfig ocfg;
+  ocfg.flush_ms = 1;
+  ocfg.events_max = 4;
+  Observer obs;
+  ASSERT_TRUE(obs.open(dir.str(), "w one", ocfg)) << obs.last_error();
+  EXPECT_TRUE(obs.enabled());
+
+  const double dropped_before = telemetry::registry().value("observer.events_dropped");
+  obs.event("info", "worker started");
+  obs.flush_snapshot();
+  telemetry::registry().counter("obs.test.hits").add(5);
+  obs.flush_snapshot();
+  obs.event("warn", "spooky", 0xAB, 2);
+  obs.event("info", "third");
+  obs.event("info", "fourth (last under the cap)");
+  obs.event("info", "fifth: dropped");  // events_max = 4
+
+  const auto fleet = load_worker_telemetry(dir.str());
+  ASSERT_EQ(fleet.size(), 1u);
+  const WorkerTelemetry& wt = fleet[0];
+  EXPECT_EQ(wt.owner, "w one");  // from the snap source, not the sanitized file name
+  EXPECT_EQ(wt.damaged_lines, 0u);
+  ASSERT_EQ(wt.snapshots.size(), 2u);
+  ASSERT_EQ(wt.events.size(), 4u);
+  EXPECT_EQ(wt.events[1].severity, "warn");
+  EXPECT_EQ(wt.events[1].lease_id, 0xABu);
+  EXPECT_EQ(wt.events[1].row, 2u);
+  EXPECT_EQ(telemetry::registry().value("observer.events_dropped"), dropped_before + 1.0);
+
+  // Snapshots carry the registry as it was at each flush, exactly.
+  auto raw_of = [](const telemetry::Snapshot& s,
+                   const std::string& name) -> std::uint64_t {
+    for (const auto& m : s.metrics) {
+      if (m.name == name) return m.raw;
+    }
+    return ~0ULL;
+  };
+  EXPECT_EQ(raw_of(wt.snapshots[0], "obs.test.hits"), 3u);
+  EXPECT_EQ(raw_of(wt.snapshots[1], "obs.test.hits"), 8u);
+  EXPECT_EQ(raw_of(wt.snapshots[1], "obs.test.misses"), 1u);
+}
+
+TEST(Observer, TornSidecarRecordsAreSkippedAndCounted) {
+  const TempDir dir("torn-sidecar");
+  TelemetryGuard guard;
+  telemetry::TelemetryConfig tcfg;
+  tcfg.counters = true;
+  telemetry::Telemetry::instance().configure(tcfg);
+  telemetry::registry().counter("svc.rows").add(1);
+
+  const std::string path = sidecar_path(dir.str(), "w2");
+  {
+    ObservabilityConfig ocfg;
+    ocfg.flush_ms = 1;
+    Observer obs;
+    ASSERT_TRUE(obs.open(dir.str(), "w2", ocfg)) << obs.last_error();
+    obs.flush_snapshot();
+    // A crashed neighbour's fragment lands mid-file on its own line...
+    {
+      std::ofstream raw(path, std::ios::app | std::ios::binary);
+      raw << "{\"v\":1,\"kind\":\"snap\",\"t\":\"1\",\"da\n";
+    }
+    obs.flush_snapshot();
+  }
+  auto fleet = load_worker_telemetry(dir.str());
+  ASSERT_EQ(fleet.size(), 1u);
+  EXPECT_EQ(fleet[0].snapshots.size(), 2u);
+  EXPECT_EQ(fleet[0].damaged_lines, 1u);
+
+  // ...and the worker dying mid-snapshot tears the tail: the torn record is
+  // skipped and counted, the previous snapshot stands.
+  fs::resize_file(path, fs::file_size(path) - 9);
+  fleet = load_worker_telemetry(dir.str());
+  ASSERT_EQ(fleet.size(), 1u);
+  EXPECT_EQ(fleet[0].snapshots.size(), 1u);
+  EXPECT_EQ(fleet[0].damaged_lines, 2u);
+}
+
+TEST(FleetStatusView, StatusJsonHasVersionedFixedKeyOrder) {
+  // The exact machine contract of `--status --json` (and --serve): one line,
+  // versioned, keys in this order. Changing it is a schema change — bump "v".
+  FleetStatus fs;
+  fs.sweep_hash = 0xABC;
+  fs.now_ms = 5000;
+  fs.rows = 4;
+  fs.completed = 2;
+  fs.failed = 1;
+  fs.leased = 1;
+  fs.conflict = false;
+  fs.damaged_lines = 0;
+  fs.eta_ms = 1500;
+  WorkerHealth h;
+  h.owner = "w-1";
+  h.alive = true;
+  h.heartbeat_age_ms = 120;
+  h.rows_done = 2;
+  h.rows_failed = 1;
+  h.rows_stolen = 1;
+  h.memo_hit_rate = 0.5;
+  h.events = 3;
+  fs.workers.push_back(h);
+  resilience::EventRecord ev;
+  ev.t_ms = 4000;
+  ev.severity = "warn";
+  ev.source = "w-1";
+  ev.message = "restart \"now\"";
+  ev.lease_id = 0x1F;
+  fs.recent_events.push_back(ev);
+
+  EXPECT_EQ(
+      status_json(fs),
+      "{\"v\":1,\"sweep\":\"0000000000000abc\",\"now_ms\":5000,\"rows\":4,"
+      "\"completed\":2,\"failed\":1,\"pending\":1,\"leased\":1,\"conflict\":false,"
+      "\"damaged_lines\":0,\"eta_ms\":1500,\"workers\":[{\"owner\":\"w-1\","
+      "\"alive\":true,\"heartbeat_age_ms\":120,\"done\":2,\"failed\":1,"
+      "\"stolen\":1,\"memo_hit_rate\":0.5000,\"events\":3}],\"events\":["
+      "{\"t\":4000,\"sev\":\"warn\",\"src\":\"w-1\",\"lease\":\"000000000000001f\","
+      "\"row\":-1,\"msg\":\"restart \\\"now\\\"\"}]}");
+
+  // Unknown rate and unknown ETA keep their -1 sentinels.
+  fs.workers[0].memo_hit_rate = -1.0;
+  fs.eta_ms = -1;
+  const std::string js = status_json(fs);
+  EXPECT_NE(js.find("\"memo_hit_rate\":-1"), std::string::npos);
+  EXPECT_NE(js.find("\"eta_ms\":-1"), std::string::npos);
+}
+
+TEST(FleetStatusView, EtaAndLivenessFollowTheJournal) {
+  const TempDir dir("eta");
+  const sim::SweepSpec spec =
+      tiny_sweep({"mcf"}, {sim::Technique::Esteem, sim::Technique::RefrintRPV});
+  LeaseTable a;
+  ASSERT_TRUE(a.create(dir.str(), spec, "w-a"));
+  const std::int64_t t0 = LeaseTable::wall_ms();
+  const auto ca = a.claim(t0);
+  ASSERT_TRUE(ca.has_value());
+  ASSERT_EQ(a.complete(*ca, sample_comparison(0.0)), AppendStatus::kOk);
+  const TableState st = a.load_state();
+
+  // Seen recently: alive, and one timed row yields a finite ETA estimate.
+  const FleetStatus live = collect_fleet_status(a, st, LeaseTable::wall_ms());
+  EXPECT_EQ(live.rows, 2u);
+  EXPECT_EQ(live.completed, 1u);
+  ASSERT_EQ(live.workers.size(), 1u);
+  EXPECT_EQ(live.workers[0].owner, "w-a");
+  EXPECT_TRUE(live.workers[0].alive);
+  EXPECT_EQ(live.workers[0].rows_done, 1u);
+  EXPECT_GE(live.eta_ms, 0);
+
+  // Past the TTL with a row still pending: nobody alive, ETA unknown.
+  const std::int64_t ttl = spec.config.service.lease_ttl_ms;
+  const FleetStatus stale = collect_fleet_status(a, st, LeaseTable::wall_ms() + ttl + 60'000);
+  ASSERT_EQ(stale.workers.size(), 1u);
+  EXPECT_FALSE(stale.workers[0].alive);
+  EXPECT_GE(stale.workers[0].heartbeat_age_ms, ttl);
+  EXPECT_EQ(stale.eta_ms, -1);
+  EXPECT_NE(progress_line(stale).find("eta unknown"), std::string::npos);
+}
+
+TEST(ServiceEndToEnd, FleetStatusAndMergedOutputsFromObservedRun) {
+  const TempDir dir("fleet");
+  TelemetryGuard guard;
+  sim::SweepSpec spec = tiny_sweep({"gamess", "gobmk"}, {sim::Technique::RefrintRPV});
+  spec.config.observability.flush_ms = 10;
+
+  std::string plan_error;
+  ASSERT_TRUE(plan_service(dir.str(), spec, plan_error)) << plan_error;
+
+  resilience::clear_shutdown();
+  const std::string saved_memo = sim::RunCache::instance().disk_dir();
+  WorkerOptions wopts;
+  wopts.dir = dir.str();
+  wopts.owner = "inproc-obs";
+  wopts.quiet = true;
+  const WorkerReport rep = run_worker(wopts);
+  sim::RunCache::instance().set_disk_dir(saved_memo);
+  ASSERT_TRUE(rep.ok()) << rep.error;
+  EXPECT_EQ(rep.rows_completed, 2u);
+
+  LeaseTable table;
+  ASSERT_TRUE(table.open(dir.str(), "status"));
+  const TableState st = table.load_state();
+  ASSERT_TRUE(st.ok) << st.error;
+  const FleetStatus fleet = collect_fleet_status(table, st, LeaseTable::wall_ms());
+  EXPECT_EQ(fleet.rows, 2u);
+  EXPECT_EQ(fleet.completed, 2u);
+  EXPECT_EQ(fleet.eta_ms, 0);  // resolved
+  EXPECT_EQ(fleet.damaged_lines, 0u);
+  ASSERT_EQ(fleet.workers.size(), 1u);
+  const WorkerHealth& wh = fleet.workers[0];
+  EXPECT_EQ(wh.owner, "inproc-obs");
+  EXPECT_TRUE(wh.alive);
+  EXPECT_EQ(wh.rows_done, 2u);
+  EXPECT_EQ(wh.rows_failed, 0u);
+  EXPECT_EQ(wh.rows_stolen, 0u);
+  EXPECT_GE(wh.memo_hit_rate, 0.0);  // sidecar snapshots carried memo counters
+  EXPECT_GE(wh.events, 4u);          // started, claimed/completed x2, exiting
+  EXPECT_FALSE(fleet.recent_events.empty());
+
+  const std::string js = status_json(fleet);
+  EXPECT_EQ(js.rfind("{\"v\":1,\"sweep\":\"", 0), 0u);
+  EXPECT_NE(js.find("\"workers\":[{\"owner\":\"inproc-obs\""), std::string::npos);
+  EXPECT_NE(progress_line(fleet).find("[fleet] 2/2 rows resolved"), std::string::npos);
+
+  // Merged OpenMetrics from the sidecars passes the strict checker.
+  const std::string metrics_path = (dir.path / "metrics.om").string();
+  std::string error;
+  ASSERT_TRUE(write_fleet_metrics(dir.str(), metrics_path, error)) << error;
+  const std::string exposition = read_file(metrics_path);
+  EXPECT_TRUE(telemetry::check_openmetrics(exposition, error)) << error;
+  EXPECT_NE(exposition.find("esteem_worker_rows_completed"), std::string::npos);
+
+  // Merged trace: coordinator is pid 0, the single worker pid 1, no pid 2,
+  // and every row span resolved "done".
+  const std::string trace_path = (dir.path / "trace.merged.json").string();
+  ASSERT_TRUE(write_merged_trace(dir.str(), trace_path, error)) << error;
+  const std::string trace = read_file(trace_path);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"pid\":0"), std::string::npos);
+  EXPECT_NE(trace.find("\"pid\":1"), std::string::npos);
+  EXPECT_EQ(trace.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(trace.find("coordinator (fleet)"), std::string::npos);
+  EXPECT_NE(trace.find("inproc-obs"), std::string::npos);
+  EXPECT_NE(trace.find("rows_resolved"), std::string::npos);
+  EXPECT_NE(trace.find("\"outcome\":\"done\""), std::string::npos);
+  EXPECT_EQ(trace.find("\"outcome\":\"lost\""), std::string::npos);
+}
+
+TEST(FleetStatusView, MetricsWriterExplainsMissingSidecars) {
+  const TempDir dir("no-sidecars");
+  const sim::SweepSpec spec = tiny_sweep({"mcf"}, {sim::Technique::Esteem});
+  std::string plan_error;
+  ASSERT_TRUE(plan_service(dir.str(), spec, plan_error)) << plan_error;
+  std::string error;
+  EXPECT_FALSE(write_fleet_metrics(dir.str(), (dir.path / "m.om").string(), error));
+  EXPECT_NE(error.find("flush_ms"), std::string::npos);
 }
 
 // ----------------------------------------------------------------- chaos gate

@@ -349,7 +349,10 @@ int main(int argc, char** argv) {
       }
       if (!serve_dir.empty()) {
         // Sweep-as-a-service: plan the rows, let esteem_workerd processes
-        // resolve them, aggregate — never simulate in this process.
+        // resolve them, aggregate — never simulate in this process. The
+        // stderr progress heartbeat is the shared fleet line of
+        // service::progress_line (the same view `esteem_workerd --status
+        // --json` serializes), so the two surfaces cannot skew.
         if (!journal_path.empty() || !resume_path.empty()) {
           usage("--serve uses DIR/service.journal; drop --journal/--resume");
         }

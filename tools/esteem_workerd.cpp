@@ -13,13 +13,27 @@
 //       and is re-leased by a surviving worker
 //
 //   esteem_workerd --coordinator DIR [--sweep ... to plan inline]
-//                  [--csv FILE] [--timeout-ms N] [--quiet]
+//                  [--csv FILE] [--metrics FILE] [--timeout-ms N] [--quiet]
 //       waits for workers, aggregates the journal, prints the sweep report
 //       and writes the CSV — byte-identical to a single-process
-//       `esteem_cli --sweep` of the same flags
+//       `esteem_cli --sweep` of the same flags; --metrics additionally
+//       writes the merged OpenMetrics exposition after the collect
 //
-//   esteem_workerd --status DIR
-//       one-shot snapshot of the lease table
+//   esteem_workerd --status DIR [--json] [--metrics FILE]
+//       one-shot fleet view: the lease table plus live per-worker health
+//       (heartbeat age, rows done/stolen/failed, memo hit rate) and a sweep
+//       ETA from observed row durations; --json prints the versioned
+//       machine-readable form (the same fleet view the coordinator's
+//       progress line renders), --metrics writes the merged OpenMetrics
+//       exposition of every worker's latest snapshot
+//
+//   esteem_workerd --merge-trace DIR [--out FILE]
+//       stitches the service journal + per-worker telemetry sidecars into
+//       one Perfetto-loadable Chrome trace (coordinator pid 0, one pid per
+//       worker); default output DIR/trace.merged.json
+//
+//   esteem_workerd --check-metrics FILE
+//       strict OpenMetrics validation of FILE (used by tests/CI)
 //
 // Exit codes: 0 ok | 2 usage/open failure | 3 at least one workload errored
 // | 5 interrupted (SIGINT/SIGTERM) | 6 integrity conflict (differing cell
@@ -33,11 +47,17 @@
 #include <cstring>
 #include <string>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 #include "common/config_io.hpp"
 #include "resilience/shutdown.hpp"
 #include "service/coordinator.hpp"
+#include "service/observer.hpp"
 #include "service/worker.hpp"
 #include "sweep_cli_common.hpp"
+#include "telemetry/export.hpp"
 
 namespace {
 
@@ -50,12 +70,14 @@ using namespace esteem;
                "                      [--config FILE] [--instr N] [--warmup N] [--seed N]\n"
                "       esteem_workerd --worker DIR [--owner NAME] [--quiet]\n"
                "       esteem_workerd --coordinator DIR [--sweep ...] [--csv FILE]\n"
-               "                      [--timeout-ms N] [--quiet]\n"
-               "       esteem_workerd --status DIR\n");
+               "                      [--metrics FILE] [--timeout-ms N] [--quiet]\n"
+               "       esteem_workerd --status DIR [--json] [--metrics FILE]\n"
+               "       esteem_workerd --merge-trace DIR [--out FILE]\n"
+               "       esteem_workerd --check-metrics FILE\n");
   std::exit(2);
 }
 
-int run_status(const std::string& dir) {
+int run_status(const std::string& dir, bool json, const std::string& metrics_path) {
   service::LeaseTable table;
   if (!table.open(dir, "status")) {
     std::fprintf(stderr, "error: %s\n", table.last_error().c_str());
@@ -67,6 +89,22 @@ int run_status(const std::string& dir) {
     return 2;
   }
   const std::int64_t now = service::LeaseTable::wall_ms();
+  const service::FleetStatus fs = service::collect_fleet_status(table, st, now);
+
+  if (!metrics_path.empty()) {
+    std::string merr;
+    if (!service::write_fleet_metrics(dir, metrics_path, merr)) {
+      std::fprintf(stderr, "warning: metrics not written: %s\n", merr.c_str());
+    } else if (!json) {
+      std::fprintf(stderr, "metrics written to %s\n", metrics_path.c_str());
+    }
+  }
+
+  if (json) {
+    std::printf("%s\n", service::status_json(fs).c_str());
+    return st.conflict ? service::kExitIntegrity : 0;
+  }
+
   std::printf("sweep %016llx: %zu row(s) = %zu workload(s) x %zu technique(s)\n",
               static_cast<unsigned long long>(table.sweep_hash()), st.rows.size(),
               table.spec().workloads.size(), table.n_techniques());
@@ -83,11 +121,40 @@ int run_status(const std::string& dir) {
                 static_cast<unsigned long long>(r.generation),
                 r.owner.empty() ? "" : " ", r.owner.c_str());
   }
-  std::printf("%zu done, %zu failed, %zu pending%s%s\n", st.completed, st.failed,
-              st.rows.size() - st.completed - st.failed,
-              st.conflict ? ", INTEGRITY CONFLICT" : "",
-              st.damaged_lines != 0 ? " (damaged journal lines skipped)" : "");
+  if (!fs.workers.empty()) {
+    std::printf("workers:\n");
+    for (const service::WorkerHealth& h : fs.workers) {
+      char age[32];
+      if (h.heartbeat_age_ms < 0) std::snprintf(age, sizeof age, "never");
+      else std::snprintf(age, sizeof age, "%.1fs", static_cast<double>(h.heartbeat_age_ms) / 1000.0);
+      char memo[32];
+      if (h.memo_hit_rate < 0) std::snprintf(memo, sizeof memo, "-");
+      else std::snprintf(memo, sizeof memo, "%.1f%%", h.memo_hit_rate * 100.0);
+      std::printf("  %-20s %-5s hb age %-8s done %-3zu failed %-3zu stolen %-3zu "
+                  "memo %-7s events %zu\n",
+                  h.owner.c_str(), h.alive ? "alive" : "dead", age, h.rows_done,
+                  h.rows_failed, h.rows_stolen, memo, h.events);
+    }
+  }
+  std::printf("%s\n", service::progress_line(fs).c_str());
   return st.conflict ? service::kExitIntegrity : 0;
+}
+
+int run_check_metrics(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  if (!telemetry::check_openmetrics(buf.str(), error)) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), error.c_str());
+    return 2;
+  }
+  std::printf("%s: valid OpenMetrics exposition\n", path.c_str());
+  return 0;
 }
 
 }  // namespace
@@ -100,11 +167,14 @@ int main(int argc, char** argv) {
   std::string config_path;
   std::string csv_path;
   std::string owner;
+  std::string metrics_path;
+  std::string trace_out;
   instr_t instr = 4'000'000;
   instr_t warmup = 800'000;
   std::uint64_t seed = 42;
   std::uint32_t timeout_ms = 0;
   bool quiet = false;
+  bool json = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -113,7 +183,10 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     auto mode_flag = [&](const char* name) {
-      if (!mode.empty()) usage("pick exactly one of --plan/--worker/--coordinator/--status");
+      if (!mode.empty()) {
+        usage("pick exactly one of --plan/--worker/--coordinator/--status/"
+              "--merge-trace/--check-metrics");
+      }
       mode = name;
       dir = value();
     };
@@ -121,10 +194,15 @@ int main(int argc, char** argv) {
     else if (arg == "--worker") mode_flag("worker");
     else if (arg == "--coordinator") mode_flag("coordinator");
     else if (arg == "--status") mode_flag("status");
+    else if (arg == "--merge-trace") mode_flag("merge-trace");
+    else if (arg == "--check-metrics") mode_flag("check-metrics");
     else if (arg == "--sweep") sweep_arg = value();
     else if (arg == "--techniques") techniques_arg = value();
     else if (arg == "--config") config_path = value();
     else if (arg == "--csv") csv_path = value();
+    else if (arg == "--metrics") metrics_path = value();
+    else if (arg == "--out") trace_out = value();
+    else if (arg == "--json") json = true;
     else if (arg == "--owner") owner = value();
     else if (arg == "--instr") instr = std::strtoull(value().c_str(), nullptr, 10);
     else if (arg == "--warmup") warmup = std::strtoull(value().c_str(), nullptr, 10);
@@ -135,10 +213,26 @@ int main(int argc, char** argv) {
     else if (arg == "--help" || arg == "-h") usage();
     else usage(("unknown option " + arg).c_str());
   }
-  if (mode.empty()) usage("pick one of --plan/--worker/--coordinator/--status");
+  if (mode.empty()) {
+    usage("pick one of --plan/--worker/--coordinator/--status/--merge-trace/"
+          "--check-metrics");
+  }
 
   try {
-    if (mode == "status") return run_status(dir);
+    if (mode == "status") return run_status(dir, json, metrics_path);
+    if (mode == "check-metrics") return run_check_metrics(dir);
+    if (mode == "merge-trace") {
+      const std::string out = trace_out.empty()
+                                  ? (std::filesystem::path(dir) / "trace.merged.json").string()
+                                  : trace_out;
+      std::string error;
+      if (!service::write_merged_trace(dir, out, error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 2;
+      }
+      std::printf("merged trace written to %s\n", out.c_str());
+      return 0;
+    }
 
     if (mode == "plan" || (mode == "coordinator" && !sweep_arg.empty())) {
       if (sweep_arg.empty()) usage("--plan requires --sweep");
@@ -188,6 +282,7 @@ int main(int argc, char** argv) {
     service::CoordinatorOptions opts;
     opts.dir = dir;
     opts.csv_path = csv_path;
+    opts.metrics_path = metrics_path;
     opts.timeout_ms = timeout_ms;
     opts.quiet = quiet;
     const service::CollectResult collected = service::wait_and_collect(opts);
