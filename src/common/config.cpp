@@ -69,6 +69,14 @@ void SystemConfig::validate() const {
   require(esteem.history_weight >= 0.0 && esteem.history_weight < 1.0,
           "history weight must be in [0,1)");
 
+  if (sampling.enabled) {
+    require(sampling.window_instr >= 1, "sampling window must be >= 1 instruction");
+    require(sampling.period_instr > sampling.window_instr +
+                                        sampling.detail_warm_instr +
+                                        sampling.ff_warm_instr,
+            "sampling period must exceed window + warm segments");
+  }
+
   require(faults.median_multiple > 0.0, "fault median multiple must be positive");
   require(faults.sigma > 0.0, "fault sigma must be positive");
   require(faults.disable_threshold >= 1, "fault disable threshold must be >= 1");

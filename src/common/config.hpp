@@ -111,6 +111,35 @@ struct FaultConfig {
   std::uint32_t max_tracked_extension = 16;
 };
 
+/// SMARTS-style systematic sampling (src/sampling; docs/SAMPLING.md). Off by
+/// default: an exhaustive run walks its whole trace and is bit-identical to
+/// pre-sampling builds. When enabled, only short detailed windows are
+/// measured (one per `period_instr` instructions per core) and every flow
+/// metric becomes a point estimate with a confidence interval; the gaps are
+/// crossed with an analytic fast-forward plus a functional-warming segment
+/// that keeps cache tag/LRU, refresh, fault and profiler state hot. Unlike
+/// the execution-policy sections below, these knobs change *what a run
+/// computes*, so they are part of memo fingerprints and sweep hashes.
+struct SamplingConfig {
+  bool enabled = false;
+  /// Detailed, measured window length in instructions per core.
+  instr_t window_instr = 40'000;
+  /// Detailed but unmeasured run-up immediately before each window: drains
+  /// cold bank/channel timing state so the window starts in steady state.
+  instr_t detail_warm_instr = 10'000;
+  /// Functional-warming segment before the detailed run-up: cache, refresh
+  /// and profiler state advance at full fidelity while timing is carried at
+  /// the estimated CPI.
+  instr_t ff_warm_instr = 200'000;
+  /// Functional warming after the *initial* fast-forward (the pre-measurement
+  /// warm-up skip), which starts from a cold cache and needs a longer ramp.
+  instr_t cold_warm_instr = 2'000'000;
+  /// Sampling period: one measured window per this many instructions per
+  /// core. Choose it coprime-ish to the retention period and the
+  /// reconfiguration interval (see docs/SAMPLING.md on aliasing).
+  instr_t period_instr = 4'000'000;
+};
+
 /// Sweep-runner resilience knobs (src/resilience; DESIGN.md §11). These
 /// govern *how* runs execute, not what they compute, so they are excluded
 /// from the memo-cache fingerprint: changing a deadline never invalidates
@@ -225,6 +254,7 @@ struct SystemConfig {
   EnergyScaleConfig energy;
   EsteemParams esteem;
   FaultConfig faults;
+  SamplingConfig sampling;
   ResilienceConfig resilience;
   ServiceConfig service;
   ObservabilityConfig observability;

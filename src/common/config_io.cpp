@@ -274,6 +274,31 @@ std::vector<ConfigKeySpec> build_schema() {
                       [](SystemConfig& c, std::uint64_t v) { c.faults.max_tracked_extension = static_cast<std::uint32_t>(v); },
                       [](const SystemConfig& c) -> std::uint64_t { return c.faults.max_tracked_extension; }));
 
+  s.push_back(bool_key("sampling", "enabled",
+                       "Enable SMARTS-style systematic sampling (estimates with confidence intervals)",
+                       [](SystemConfig& c, bool v) { c.sampling.enabled = v; },
+                       [](const SystemConfig& c) { return c.sampling.enabled; }));
+  s.push_back(int_key("sampling", "window_instr",
+                      "Detailed measured window length in instructions per core",
+                      [](SystemConfig& c, std::uint64_t v) { c.sampling.window_instr = v; },
+                      [](const SystemConfig& c) { return c.sampling.window_instr; }));
+  s.push_back(int_key("sampling", "detail_warm_instr",
+                      "Detailed but unmeasured run-up before each window (drains cold timing state)",
+                      [](SystemConfig& c, std::uint64_t v) { c.sampling.detail_warm_instr = v; },
+                      [](const SystemConfig& c) { return c.sampling.detail_warm_instr; }));
+  s.push_back(int_key("sampling", "ff_warm_instr",
+                      "Functional-warming instructions before each detailed run-up",
+                      [](SystemConfig& c, std::uint64_t v) { c.sampling.ff_warm_instr = v; },
+                      [](const SystemConfig& c) { return c.sampling.ff_warm_instr; }));
+  s.push_back(int_key("sampling", "cold_warm_instr",
+                      "Functional warming after the initial (cold-cache) fast-forward",
+                      [](SystemConfig& c, std::uint64_t v) { c.sampling.cold_warm_instr = v; },
+                      [](const SystemConfig& c) { return c.sampling.cold_warm_instr; }));
+  s.push_back(int_key("sampling", "period_instr",
+                      "Sampling period: one measured window per this many instructions per core",
+                      [](SystemConfig& c, std::uint64_t v) { c.sampling.period_instr = v; },
+                      [](const SystemConfig& c) { return c.sampling.period_instr; }));
+
   s.push_back(int_key("resilience", "run_deadline_ms",
                       "Wall-clock budget per run in ms; overruns become RunError{phase=deadline} (0 = off)",
                       [](SystemConfig& c, std::uint64_t v) { c.resilience.run_deadline_ms = static_cast<std::uint32_t>(v); },
@@ -335,6 +360,11 @@ const std::map<std::string, const ConfigKeySpec*>& schema_index() {
 const std::vector<ConfigKeySpec>& config_schema() {
   static const std::vector<ConfigKeySpec> kSchema = build_schema();
   return kSchema;
+}
+
+bool config_section_is_execution_policy(const std::string& section) {
+  return section == "resilience" || section == "service" ||
+         section == "observability";
 }
 
 SystemConfig load_config(std::istream& in) {
@@ -422,12 +452,26 @@ std::string config_doc_markdown(const SystemConfig& defaults) {
      << "rejected. Defaults below are the paper's single-core setup\n"
      << "(`SystemConfig::single_core()`); `SystemConfig::dual_core()` changes\n"
      << "`system.ncores` to 2, `l2.size_kb` to 8192, `mem.bandwidth_gbps` to 15\n"
-     << "and `esteem.modules` to 16.\n";
+     << "and `esteem.modules` to 16.\n\n"
+     << "Each section is classified as **semantic** or **execution policy**:\n"
+     << "semantic keys determine what a run computes, so they are part of the\n"
+     << "memo-cache fingerprint and the sweep hash (changing one invalidates\n"
+     << "cached outcomes and resume journals). Execution-policy keys only\n"
+     << "govern how runs execute or are watched — deadlines, leases, telemetry\n"
+     << "flushes — and are excluded from both: changing them never changes\n"
+     << "result bytes. The `[sampling]` section is semantic even though it\n"
+     << "only changes *accounting*: a sampled run reports estimates with\n"
+     << "confidence intervals instead of exhaustive totals (see\n"
+     << "[SAMPLING.md](SAMPLING.md)), which are different bytes.\n";
   std::string section;
   for (const ConfigKeySpec& spec : config_schema()) {
     if (spec.section != section) {
       section = spec.section;
       os << "\n## [" << section << "]\n\n"
+         << (config_section_is_execution_policy(section)
+                 ? "*Execution policy — excluded from memo fingerprints and "
+                   "sweep hashes.*\n\n"
+                 : "*Semantic — part of memo fingerprints and sweep hashes.*\n\n")
          << "| key | type | default | meaning |\n"
          << "|---|---|---|---|\n";
     }

@@ -41,6 +41,15 @@ struct ConfigKeySpec {
 /// The full INI schema in serialization order (sections contiguous).
 const std::vector<ConfigKeySpec>& config_schema();
 
+/// True when `section` is an execution-policy section: its keys govern how
+/// runs execute or are watched ([resilience], [service], [observability]),
+/// never what a run computes, so they are excluded from memo fingerprints
+/// and sweep hashes. Every other section is semantic — changing any of its
+/// keys changes result bytes and invalidates cached outcomes. The generated
+/// docs/CONFIG.md legend and the fingerprint tests both derive from this
+/// single classification.
+bool config_section_is_execution_policy(const std::string& section);
+
 /// Structured INI parse failure: what() always carries the 1-based line
 /// number (and the offending section.key when one was identified), and the
 /// same facts are available as fields for programmatic handling. Derives

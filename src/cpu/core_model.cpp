@@ -19,4 +19,27 @@ void Core::step(MemorySystem& mem) {
   ++instret_;
 }
 
+void Core::advance_clock(instr_t n, double cpi) {
+  const double due = static_cast<double>(n) * cpi + clock_carry_;
+  const auto whole = static_cast<cycle_t>(due);
+  clock_carry_ = due - static_cast<double>(whole);
+  cycles_ += whole;
+}
+
+void Core::skip(instr_t n, double cpi) {
+  generator_->skip(n);
+  instret_ += n;
+  advance_clock(n, cpi);
+}
+
+void Core::step_warm(MemorySystem& mem, double cpi) {
+  const trace::MemRef ref = generator_->next();
+  const instr_t retired = static_cast<instr_t>(ref.gap) + 1;
+  instret_ += retired;
+  advance_clock(retired, cpi);
+  // The access mutates cache/refresh/profiler state; its latency is a
+  // warming-mode nominal value and deliberately not charged to the clock.
+  (void)mem.access(id_, ref.block + block_offset_, ref.is_store, cycles_);
+}
+
 }  // namespace esteem::cpu

@@ -143,7 +143,7 @@ cycle_t MemorySystem::l2_access(block_t block, bool is_store, cycle_t now, bool 
   pump_faults(now);
   const std::uint32_t set = l2_.set_index_of(block);
   if (profiler_) profiler_->record_access(set);
-  const cycle_t bank_wait = banks_.access(set, now);
+  const cycle_t bank_wait = warming_ ? 0 : banks_.access(set, now);
 
   const cache::AccessOutcome out = l2_.access(block, is_store, now);
   cycle_t latency = cfg_.l2.latency_cycles + bank_wait;
@@ -163,7 +163,10 @@ cycle_t MemorySystem::l2_access(block_t block, bool is_store, cycle_t now, bool 
     if (demand) {
       ++stats_.demand_l2_misses;
       // The fill is fetched from main memory after the L2 lookup resolves.
-      latency += mm_.read(now + latency);
+      // Warming mode charges the unloaded latency without occupying the
+      // channel: the fill still happens functionally (the allocate above),
+      // but its timing must not leak into the next measured window.
+      latency += warming_ ? cfg_.mem.latency_cycles : mm_.read(now + latency);
     }
     // A writeback that misses L2 allocates without a memory fetch: the whole
     // line is being written.
@@ -174,7 +177,7 @@ cycle_t MemorySystem::l2_access(block_t block, bool is_store, cycle_t now, bool 
     // Evicted L2 lines: dirty ones are written back to memory; all are
     // back-invalidated from the L1s to preserve inclusion.
     if (out.victim_dirty) {
-      mm_.write(now + latency);
+      if (!warming_) mm_.write(now + latency);
       ++stats_.mm_writebacks;
     }
     for (auto& l1 : l1_) l1.invalidate(out.victim, now);
@@ -184,6 +187,7 @@ cycle_t MemorySystem::l2_access(block_t block, bool is_store, cycle_t now, bool 
 
 cycle_t MemorySystem::access(std::uint32_t core, block_t block, bool is_store,
                              cycle_t now) {
+  ++accesses_since_tick_;
   cache::SetAssocCache& l1 = l1_[core];
   const cache::AccessOutcome out = l1.access(block, is_store, now);
   cycle_t latency = cfg_.l1.latency_cycles;
@@ -208,7 +212,15 @@ void MemorySystem::tick_interval(cycle_t now) {
   fa_cycles_ += fa_current_ * static_cast<double>(now - fa_last_update_);
   fa_last_update_ = now;
 
-  if (controller_) {
+  // In a sampled run, an interval that saw no hierarchy accesses at all fell
+  // entirely inside a fast-forward skip: the controller must not read that
+  // measurement gap as idleness (decaying its history and over-shrinking),
+  // so its decision is held. Live intervals — even ones whose leader sets
+  // sampled nothing — decide normally, matching exhaustive behaviour.
+  const bool skip_gap = sampled_mode_ && accesses_since_tick_ == 0;
+  accesses_since_tick_ = 0;
+
+  if (controller_ && !skip_gap) {
     const core::ReconfigResult r =
         controller_->run_interval(now, [&](block_t) { mm_.write(now); });
     stats_.reconfig_transitions += r.transitions;
@@ -357,6 +369,24 @@ energy::EnergyCounters MemorySystem::energy_counters(cycle_t now) const {
   c.transitions = stats_.reconfig_transitions;
   if (faults_) c.ecc_corrections = faults_->counters().corrected_reads;
   return c;
+}
+
+FlowSnapshot MemorySystem::flow_snapshot(cycle_t now) const {
+  FlowSnapshot s;
+  s.l2_hits = l2_.stats().hits;
+  s.l2_misses = l2_.stats().misses;
+  s.demand_hits = stats_.demand_l2_hits;
+  s.demand_misses = stats_.demand_l2_misses;
+  s.l2_writeback_accesses = stats_.l2_writeback_accesses;
+  s.mm_reads = mm_.stats().reads;
+  s.mm_writes = mm_.stats().writes;
+  s.mm_writebacks = stats_.mm_writebacks;
+  s.reconfig_writebacks = stats_.reconfig_writebacks;
+  s.corrected_reads = faults_ ? faults_->counters().corrected_reads : 0;
+  s.refreshes = refreshes();
+  s.fa_cycles =
+      fa_cycles_ + fa_current_ * static_cast<double>(now - fa_last_update_);
+  return s;
 }
 
 double MemorySystem::active_fraction() const noexcept {

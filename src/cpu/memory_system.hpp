@@ -36,6 +36,28 @@ struct MemorySystemStats {
   std::uint64_t reconfig_writebacks = 0;
 };
 
+/// Cumulative flow-counter snapshot the sampling executor takes around each
+/// measured window; per-window deltas of these become the ratio-estimator
+/// inputs (docs/SAMPLING.md). All values are since reset_measurement.
+struct FlowSnapshot {
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t demand_hits = 0;
+  std::uint64_t demand_misses = 0;
+  std::uint64_t l2_writeback_accesses = 0;
+  std::uint64_t mm_reads = 0;
+  std::uint64_t mm_writes = 0;
+  std::uint64_t mm_writebacks = 0;
+  /// Tick-driven flush writebacks (reconfiguration/decay). A window's delta
+  /// of these is subtracted from its mm flow: an interval boundary landing
+  /// inside a window would otherwise inject one flush's worth of writes into
+  /// a 40k-instruction rate sample and be amplified by the whole-run scale.
+  std::uint64_t reconfig_writebacks = 0;
+  std::uint64_t corrected_reads = 0;
+  std::uint64_t refreshes = 0;
+  double fa_cycles = 0.0;  ///< F_A integral (closed + open window), in cycles.
+};
+
 class MemorySystem {
  public:
   MemorySystem(const SystemConfig& cfg, Technique technique);
@@ -60,6 +82,30 @@ class MemorySystem {
   /// Energy counters accumulated so far (Eq. 2-8 inputs). `freq_ghz` is
   /// needed to convert cycles to seconds.
   energy::EnergyCounters energy_counters(cycle_t now) const;
+
+  /// Sampling warming mode. While on, accesses update all functional state
+  /// (cache tags/LRU/dirty bits, refresh and fault epochs, ESTEEM profiler
+  /// histograms) exactly as in detailed mode, but timing side-effects are
+  /// nominal: bank contention is not consulted (zero wait) and main-memory
+  /// transfers neither occupy the channel nor count as memory traffic —
+  /// fills are charged the unloaded latency. Detailed windows must run with
+  /// warming off so their deltas carry real timing.
+  void set_warming(bool on) noexcept { warming_ = on; }
+  bool warming() const noexcept { return warming_; }
+
+  /// Run-scoped sampled-execution mode (set once by the sampling executor,
+  /// independent of the per-segment warming toggle): an interval boundary
+  /// that saw zero hierarchy accesses fell entirely inside a fast-forward
+  /// skip — a measurement gap, not workload idleness — so the controller
+  /// decision (and its history decay) is held for that interval. Intervals
+  /// that overlapped any executed segment decide normally, even if their
+  /// leader sets happened to sample nothing: empty leader histograms on a
+  /// live interval are real information the exhaustive controller also acts
+  /// on. Off by default; exhaustive runs are bit-identical.
+  void set_sampled_mode(bool on) noexcept { sampled_mode_ = on; }
+
+  /// Flow counters since reset_measurement (see FlowSnapshot).
+  FlowSnapshot flow_snapshot(cycle_t now) const;
 
   const MemorySystemStats& stats() const noexcept { return stats_; }
   const mem::MainMemoryStats& mm_stats() const noexcept { return mm_.stats(); }
@@ -133,6 +179,9 @@ class MemorySystem {
   std::unique_ptr<core::EsteemController> controller_;
 
   MemorySystemStats stats_;
+  bool warming_ = false;       ///< Sampling warming mode (see set_warming).
+  bool sampled_mode_ = false;  ///< Sampled run (see set_sampled_mode).
+  std::uint64_t accesses_since_tick_ = 0;  ///< Detects skip-only intervals.
 
   // Per-run telemetry sink (null = telemetry off, the default). Baselines
   // hold the previous interval's cumulative counters so samples are deltas.

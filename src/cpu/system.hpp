@@ -66,6 +66,8 @@ class System {
   RawRunResult run(const RunOptions& options);
 
   MemorySystem& memory() noexcept { return mem_; }
+  std::vector<Core>& cores() noexcept { return cores_; }
+  const SystemConfig& config() const noexcept { return cfg_; }
 
  private:
   SystemConfig cfg_;

@@ -1,0 +1,50 @@
+// The statistical side of a sampled run: every flow metric as a point
+// estimate with a 95% confidence half-interval. RawRunResult keeps carrying
+// the point values (rounded) so everything downstream of an exhaustive run
+// works unchanged; this struct rides alongside for CI-aware consumers
+// (sweep CSV, figure report, telemetry).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sampling/estimator.hpp"
+
+namespace esteem::sampling {
+
+struct SamplingEstimates {
+  bool enabled = false;          ///< False for exhaustive runs (all fields unset).
+  std::uint64_t windows = 0;     ///< Number of measured detailed windows.
+  std::uint64_t window_instr = 0;        ///< Instructions per window per core.
+  std::uint64_t detailed_instr = 0;      ///< Detailed instructions per core
+                                         ///< (windows + detailed warm-up).
+
+  // Timing. wall_cycles.value is the executor's internal clock (skips advance
+  // it at the running CPI estimate); its CI derives from the slowest core's
+  // window-CPI spread. ipc has one entry per core.
+  Estimate wall_cycles;
+  std::vector<Estimate> ipc;
+
+  // Flow counters, scaled from per-instruction window rates to run totals
+  // (ratio estimator, docs/SAMPLING.md).
+  Estimate l2_hits;
+  Estimate l2_misses;
+  Estimate demand_hits;
+  Estimate demand_misses;
+  Estimate l2_writeback_accesses;
+  Estimate mm_accesses;
+  Estimate mm_writebacks;
+  Estimate corrected_reads;
+
+  // Time-accruing counters are taken from the continuously running refresh/
+  // fault machinery (they accrue through skips), so their point value is
+  // exact given the clock; the CI is the clock's relative CI.
+  Estimate refreshes;
+  double fa_fraction = 1.0;  ///< Time-weighted F_A over the measured region.
+
+  // Filled by the experiment layer (needs the energy model): total energy
+  // with a CI from propagating each counter's half-CI through Eq. 2-8.
+  Estimate energy_j;
+};
+
+}  // namespace esteem::sampling

@@ -1,0 +1,49 @@
+#include "sampling/estimator.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace esteem::sampling {
+
+double Estimate::relative() const noexcept {
+  return value != 0.0 ? std::abs(half_ci / value) : 0.0;
+}
+
+double student_t_975(std::size_t dof) {
+  // Standard two-sided 95% table (Abramowitz & Stegun 26.7). Entry i holds
+  // the quantile for dof = i + 1.
+  static constexpr std::array<double, 30> kTable = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (dof == 0) return kTable.front();  // degenerate; callers require n >= 2
+  if (dof <= kTable.size()) return kTable[dof - 1];
+  if (dof <= 40) return 2.021;
+  if (dof <= 60) return 2.000;
+  if (dof <= 120) return 1.980;
+  return 1.960;
+}
+
+void SampleSeries::add(double x) noexcept {
+  ++n_;
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+}
+
+double SampleSeries::stddev() const noexcept {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+Estimate SampleSeries::estimate(double scale) const noexcept {
+  Estimate e;
+  e.value = scale * mean_;
+  if (n_ >= 2) {
+    const double se = stddev() / std::sqrt(static_cast<double>(n_));
+    e.half_ci = std::abs(scale) * student_t_975(n_ - 1) * se;
+  }
+  return e;
+}
+
+}  // namespace esteem::sampling

@@ -1,0 +1,50 @@
+// Point estimates with Student-t confidence intervals for the SMARTS-style
+// systematic-sampling executor (docs/SAMPLING.md). Per-window observations
+// accumulate into a SampleSeries; the series turns into an Estimate by
+// scaling the window mean up to the full run and attaching a 95% half-CI
+// derived from the standard error of the mean.
+#pragma once
+
+#include <cstddef>
+
+namespace esteem::sampling {
+
+/// A point estimate with a symmetric 95% confidence half-interval:
+/// the true (exhaustive) value is claimed to lie in [value - half_ci,
+/// value + half_ci] with 95% confidence (plus the non-sampling bias
+/// allowance documented in docs/SAMPLING.md).
+struct Estimate {
+  double value = 0.0;
+  double half_ci = 0.0;
+
+  /// half_ci as a fraction of the point value (0 when value == 0).
+  double relative() const noexcept;
+};
+
+/// Two-sided 97.5% Student-t quantile for `dof` degrees of freedom — the
+/// multiplier turning a standard error into a 95% confidence half-interval.
+/// Exact table for small dof, 1.96 asymptote for large.
+double student_t_975(std::size_t dof);
+
+/// Streaming accumulator of per-window observations (Welford's algorithm,
+/// so long series stay numerically stable).
+class SampleSeries {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t n() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+  double stddev() const noexcept;
+
+  /// `scale * mean` with half-CI `scale * t_{n-1} * s / sqrt(n)`. With n < 2
+  /// the CI is 0 (callers enforce >= 2 windows before trusting one).
+  Estimate estimate(double scale = 1.0) const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace esteem::sampling

@@ -51,6 +51,12 @@ void put_config(ByteWriter& w, const SystemConfig& c) {
   w.u32(c.faults.correction_latency_cycles);
   w.u32(c.faults.disable_threshold);
   w.u32(c.faults.max_tracked_extension);
+  w.u8(c.sampling.enabled ? 1 : 0);
+  w.u64(c.sampling.window_instr);
+  w.u64(c.sampling.detail_warm_instr);
+  w.u64(c.sampling.ff_warm_instr);
+  w.u64(c.sampling.cold_warm_instr);
+  w.u64(c.sampling.period_instr);
   w.u32(c.resilience.run_deadline_ms);
   w.u32(c.resilience.max_retries);
   w.u32(c.resilience.backoff_ms);
@@ -88,7 +94,10 @@ bool get_config(ByteReader& r, SystemConfig& c) {
          r.u32(c.esteem.shrink_confirm_intervals) && get_bool(r, c.faults.enabled) &&
          r.u64(c.faults.seed) && r.f64(c.faults.median_multiple) && r.f64(c.faults.sigma) &&
          r.u32(c.faults.correction_latency_cycles) && r.u32(c.faults.disable_threshold) &&
-         r.u32(c.faults.max_tracked_extension) && r.u32(c.resilience.run_deadline_ms) &&
+         r.u32(c.faults.max_tracked_extension) && get_bool(r, c.sampling.enabled) &&
+         r.u64(c.sampling.window_instr) && r.u64(c.sampling.detail_warm_instr) &&
+         r.u64(c.sampling.ff_warm_instr) && r.u64(c.sampling.cold_warm_instr) &&
+         r.u64(c.sampling.period_instr) && r.u32(c.resilience.run_deadline_ms) &&
          r.u32(c.resilience.max_retries) && r.u32(c.resilience.backoff_ms) &&
          r.u32(c.service.lease_ttl_ms) && r.u32(c.service.heartbeat_ms) &&
          r.u32(c.service.poll_ms) && r.u32(c.service.crash_after_rows) &&

@@ -23,7 +23,8 @@ namespace esteem::service {
 
 /// Bump when the encoding changes; a mismatched journal is refused.
 /// v2: [observability] joined the execution-policy sections.
-inline constexpr std::uint32_t kWireVersion = 2;
+/// v3: [sampling] joined the config.
+inline constexpr std::uint32_t kWireVersion = 3;
 
 std::string encode_sweep_spec(const sim::SweepSpec& spec);
 

@@ -1,7 +1,10 @@
 #include "sim/experiment.hpp"
 
+#include <cmath>
+
 #include "edram/ecc.hpp"
 #include "energy/cacti_table.hpp"
+#include "sampling/sampled_run.hpp"
 #include "sim/metrics.hpp"
 #include "sim/run_cache.hpp"
 #include "telemetry/telemetry.hpp"
@@ -42,6 +45,67 @@ void publish_run_counters(const RunSpec& spec, const RunOutcome& outcome) {
           .set(static_cast<double>(r.timeline.back().module_ways[m]));
     }
   }
+  if (outcome.estimates.enabled) {
+    reg.counter("sampling.runs").add();
+    reg.gauge("sampling.last_windows")
+        .set(static_cast<double>(outcome.estimates.windows));
+    reg.gauge("sampling.last_energy_rel_ci")
+        .set(outcome.estimates.energy_j.relative());
+    reg.gauge("sampling.last_wall_rel_ci")
+        .set(outcome.estimates.wall_cycles.relative());
+  }
+}
+
+/// 95% half-interval of total energy: perturbs each sampled counter by its
+/// half-CI through the energy model and combines the deltas in quadrature
+/// (the window estimates are close enough to independent, docs/SAMPLING.md).
+sampling::Estimate energy_half_ci(const energy::EnergyModelParams& params,
+                                  const energy::EnergyCounters& counters,
+                                  const sampling::SamplingEstimates& est,
+                                  double freq_ghz) {
+  const double base = energy::compute_energy(params, counters).total_j();
+  double var = 0.0;
+  const auto probe = [&](const auto& mutate) {
+    energy::EnergyCounters p = counters;
+    mutate(p);
+    const double d = energy::compute_energy(params, p).total_j() - base;
+    var += d * d;
+  };
+  probe([&](energy::EnergyCounters& p) {
+    p.l2_hits += static_cast<std::uint64_t>(est.l2_hits.half_ci + 0.5);
+  });
+  probe([&](energy::EnergyCounters& p) {
+    p.l2_misses += static_cast<std::uint64_t>(est.l2_misses.half_ci + 0.5);
+  });
+  probe([&](energy::EnergyCounters& p) {
+    p.mm_accesses += static_cast<std::uint64_t>(est.mm_accesses.half_ci + 0.5);
+  });
+  probe([&](energy::EnergyCounters& p) {
+    p.refreshes += static_cast<std::uint64_t>(est.refreshes.half_ci + 0.5);
+  });
+  probe([&](energy::EnergyCounters& p) {
+    p.ecc_corrections +=
+        static_cast<std::uint64_t>(est.corrected_reads.half_ci + 0.5);
+  });
+  probe([&](energy::EnergyCounters& p) {
+    // Wall-time uncertainty moves leakage and the F_A-weighted terms
+    // together (F_A itself is a time ratio and cancels).
+    const double dt = est.wall_cycles.half_ci / (freq_ghz * 1e9);
+    p.seconds += dt;
+    p.fa_seconds += dt * est.fa_fraction;
+  });
+  return sampling::Estimate{base, std::sqrt(var)};
+}
+
+/// Metric + CI view of one run that works for exhaustive runs too (CI 0).
+sampling::Estimate energy_estimate(const RunOutcome& o) {
+  return o.estimates.enabled ? o.estimates.energy_j
+                             : sampling::Estimate{o.energy.total_j(), 0.0};
+}
+
+sampling::Estimate ipc_estimate(const RunOutcome& o, std::size_t core) {
+  return o.estimates.enabled ? o.estimates.ipc[core]
+                             : sampling::Estimate{o.raw.ipc[core], 0.0};
 }
 
 }  // namespace
@@ -76,7 +140,14 @@ RunOutcome run_experiment(const RunSpec& spec) {
   RunOutcome outcome;
   {
     telemetry::ScopedTimer t(tel.profiler(), "run.simulate");
-    outcome.raw = system.run(options);
+    if (spec.config.sampling.enabled) {
+      sampling::SampledRunResult sampled =
+          sampling::run_sampled(system, options, spec.config.sampling);
+      outcome.raw = std::move(sampled.raw);
+      outcome.estimates = std::move(sampled.estimates);
+    } else {
+      outcome.raw = system.run(options);
+    }
   }
 
   telemetry::ScopedTimer energy_timer(tel.profiler(), "run.energy");
@@ -94,6 +165,10 @@ RunOutcome run_experiment(const RunSpec& spec) {
     params.l2.e_dyn_nj_per_access *= 1.0 + overhead;
   }
   outcome.energy = energy::compute_energy(params, outcome.raw.counters);
+  if (outcome.estimates.enabled) {
+    outcome.estimates.energy_j = energy_half_ci(
+        params, outcome.raw.counters, outcome.estimates, spec.config.freq_ghz);
+  }
   energy_timer.stop();
 
   if (sink) {
@@ -126,6 +201,46 @@ TechniqueComparison compare(const std::string& workload, Technique technique,
   c.mpki_tech = per_kilo_instructions(tech.raw.demand_misses, instr);
   c.mpki_increase = c.mpki_tech - c.mpki_base;
   c.active_ratio_pct = 100.0 * tech.raw.avg_active_ratio;
+
+  c.sampled = baseline.estimates.enabled || tech.estimates.enabled;
+  if (c.sampled) {
+    // Energy saving = 100 * (1 - Et/Eb): relative errors of the two runs
+    // combine in quadrature on the ratio.
+    const sampling::Estimate eb = energy_estimate(baseline);
+    const sampling::Estimate et = energy_estimate(tech);
+    if (eb.value > 0.0 && et.value > 0.0) {
+      const double ratio = et.value / eb.value;
+      const double rel =
+          std::sqrt(eb.relative() * eb.relative() + et.relative() * et.relative());
+      c.energy_saving_ci = 100.0 * ratio * rel;
+    }
+    // Weighted speedup is the mean of per-core IPC ratios; each ratio's
+    // relative error again combines the paired runs in quadrature.
+    double ws_var = 0.0;
+    const std::size_t ncores = tech.raw.ipc.size();
+    for (std::size_t i = 0; i < ncores; ++i) {
+      const sampling::Estimate ib = ipc_estimate(baseline, i);
+      const sampling::Estimate it = ipc_estimate(tech, i);
+      if (ib.value <= 0.0 || it.value <= 0.0) continue;
+      const double ratio = it.value / ib.value;
+      const double rel =
+          std::sqrt(ib.relative() * ib.relative() + it.relative() * it.relative());
+      ws_var += (ratio * rel) * (ratio * rel);
+    }
+    if (ncores > 0) {
+      c.weighted_speedup_ci =
+          std::sqrt(ws_var) / static_cast<double>(ncores);
+    }
+    if (tech.estimates.enabled && instr > 0) {
+      c.rpki_tech_ci =
+          1000.0 * tech.estimates.refreshes.half_ci / static_cast<double>(instr);
+      c.mpki_tech_ci = 1000.0 * tech.estimates.demand_misses.half_ci /
+                       static_cast<double>(instr);
+    }
+    // F_A is integrated on the run's own clock, so its ratio to elapsed time
+    // carries no window-sampling variance (docs/SAMPLING.md) — CI 0.
+  }
+
   c.ecc_corrected_reads = tech.raw.faults.corrected_reads;
   c.fault_refetches = tech.raw.faults.refetches;
   c.fault_data_loss = tech.raw.faults.data_loss_events;

@@ -11,6 +11,7 @@
 #include "common/config.hpp"
 #include "cpu/system.hpp"
 #include "energy/energy_model.hpp"
+#include "sampling/estimates.hpp"
 #include "sim/technique.hpp"
 #include "trace/workloads.hpp"
 
@@ -30,6 +31,9 @@ struct RunSpec {
 struct RunOutcome {
   cpu::RawRunResult raw;
   energy::EnergyBreakdown energy;
+  /// Confidence intervals when the run was sampled ([sampling] enabled);
+  /// `estimates.enabled == false` for exhaustive runs.
+  sampling::SamplingEstimates estimates;
 };
 
 /// Telemetry label of a run — "<workload>.<technique>.s<seed>", sanitized
@@ -72,6 +76,17 @@ struct TechniqueComparison {
   std::uint64_t fault_data_loss = 0;       ///< Dirty uncorrectable losses.
   std::uint64_t fault_disabled_lines = 0;  ///< Slots retired this run.
   double correction_rpki = 0.0;            ///< Corrected reads per kilo-instr.
+
+  // Sampling: true when either paired run used the systematic-sampling
+  // executor; the *_ci fields are 95% half-intervals for the corresponding
+  // metric above (propagated from the per-run estimates — docs/SAMPLING.md).
+  // All zero for exhaustive comparisons.
+  bool sampled = false;
+  double energy_saving_ci = 0.0;
+  double weighted_speedup_ci = 0.0;
+  double rpki_tech_ci = 0.0;
+  double mpki_tech_ci = 0.0;
+  double active_ratio_ci = 0.0;
 };
 
 TechniqueComparison compare(const std::string& workload, Technique technique,

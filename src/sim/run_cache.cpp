@@ -47,12 +47,22 @@ constexpr std::uint64_t kMemoMagic = 0x314F4D454D534525ULL;  // "%ESMEMO1"
 // simulator behaviour changes: stale memo files then read as misses.
 // v2: EnergyScaleConfig joined the fingerprint.
 // v3: CRC32 over the payload joined the header (self-healing memo files).
-constexpr std::uint32_t kMemoFormatVersion = 3;
+// v4: [sampling] joined the fingerprint; SamplingEstimates joined the outcome.
+constexpr std::uint32_t kMemoFormatVersion = 4;
 
 // Memo file layout: magic u64 | version u32 | crc u32 | payload, with the
 // two u32s in the shared 8-byte encoding — a 24-byte header, then the
 // CRC-protected payload (fingerprint string + serialized outcome).
 constexpr std::size_t kMemoHeaderBytes = 24;
+
+void write_estimate(ByteWriter& w, const sampling::Estimate& e) {
+  w.f64(e.value);
+  w.f64(e.half_ci);
+}
+
+bool read_estimate(ByteReader& rd, sampling::Estimate& e) {
+  return rd.f64(e.value) && rd.f64(e.half_ci);
+}
 
 void write_outcome(ByteWriter& w, const RunOutcome& o) {
   const cpu::RawRunResult& r = o.raw;
@@ -108,6 +118,28 @@ void write_outcome(ByteWriter& w, const RunOutcome& o) {
   w.f64(e.ecc_l2_j);
   w.f64(e.mm_j);
   w.f64(e.algo_j);
+
+  const sampling::SamplingEstimates& est = o.estimates;
+  w.u8(est.enabled ? 1 : 0);
+  if (est.enabled) {
+    w.u64(est.windows);
+    w.u64(est.window_instr);
+    w.u64(est.detailed_instr);
+    write_estimate(w, est.wall_cycles);
+    w.u64(est.ipc.size());
+    for (const sampling::Estimate& v : est.ipc) write_estimate(w, v);
+    write_estimate(w, est.l2_hits);
+    write_estimate(w, est.l2_misses);
+    write_estimate(w, est.demand_hits);
+    write_estimate(w, est.demand_misses);
+    write_estimate(w, est.l2_writeback_accesses);
+    write_estimate(w, est.mm_accesses);
+    write_estimate(w, est.mm_writebacks);
+    write_estimate(w, est.corrected_reads);
+    write_estimate(w, est.refreshes);
+    w.f64(est.fa_fraction);
+    write_estimate(w, est.energy_j);
+  }
 }
 
 bool read_outcome(ByteReader& rd, RunOutcome& o) {
@@ -153,8 +185,34 @@ bool read_outcome(ByteReader& rd, RunOutcome& o) {
   }
 
   energy::EnergyBreakdown& e = o.energy;
-  return rd.f64(e.leak_l2_j) && rd.f64(e.dyn_l2_j) && rd.f64(e.refresh_l2_j) &&
-         rd.f64(e.ecc_l2_j) && rd.f64(e.mm_j) && rd.f64(e.algo_j) && rd.done();
+  ok = rd.f64(e.leak_l2_j) && rd.f64(e.dyn_l2_j) && rd.f64(e.refresh_l2_j) &&
+       rd.f64(e.ecc_l2_j) && rd.f64(e.mm_j) && rd.f64(e.algo_j);
+  if (!ok) return false;
+
+  sampling::SamplingEstimates& est = o.estimates;
+  std::uint8_t sampled = 0;
+  if (!rd.u8(sampled)) return false;
+  est.enabled = sampled != 0;
+  if (est.enabled) {
+    ok = rd.u64(est.windows) && rd.u64(est.window_instr) &&
+         rd.u64(est.detailed_instr) && read_estimate(rd, est.wall_cycles);
+    if (!ok || !rd.u64(n)) return false;
+    est.ipc.resize(n);
+    for (sampling::Estimate& v : est.ipc) {
+      if (!read_estimate(rd, v)) return false;
+    }
+    ok = read_estimate(rd, est.l2_hits) && read_estimate(rd, est.l2_misses) &&
+         read_estimate(rd, est.demand_hits) &&
+         read_estimate(rd, est.demand_misses) &&
+         read_estimate(rd, est.l2_writeback_accesses) &&
+         read_estimate(rd, est.mm_accesses) &&
+         read_estimate(rd, est.mm_writebacks) &&
+         read_estimate(rd, est.corrected_reads) &&
+         read_estimate(rd, est.refreshes) && rd.f64(est.fa_fraction) &&
+         read_estimate(rd, est.energy_j);
+    if (!ok) return false;
+  }
+  return rd.done();
 }
 
 std::filesystem::path memo_path(const std::string& dir, std::uint64_t hash) {
@@ -219,6 +277,14 @@ std::string run_spec_fingerprint(const RunSpec& spec) {
   w.u32(cfg.faults.correction_latency_cycles);
   w.u32(cfg.faults.disable_threshold);
   w.u32(cfg.faults.max_tracked_extension);
+  // [sampling] is semantic: it decides whether a run is exhaustive or
+  // estimated, and with what schedule — different bytes out.
+  w.u8(cfg.sampling.enabled ? 1 : 0);
+  w.u64(cfg.sampling.window_instr);
+  w.u64(cfg.sampling.detail_warm_instr);
+  w.u64(cfg.sampling.ff_warm_instr);
+  w.u64(cfg.sampling.cold_warm_instr);
+  w.u64(cfg.sampling.period_instr);
 
   w.u32(static_cast<std::uint32_t>(spec.technique));
   w.str(spec.workload.name);

@@ -27,10 +27,20 @@ void write_comparison(ByteWriter& w, const TechniqueComparison& c) {
   w.u64(c.fault_data_loss);
   w.u64(c.fault_disabled_lines);
   w.f64(c.correction_rpki);
+  w.u8(c.sampled ? 1 : 0);
+  w.f64(c.energy_saving_ci);
+  w.f64(c.weighted_speedup_ci);
+  w.f64(c.rpki_tech_ci);
+  w.f64(c.mpki_tech_ci);
+  w.f64(c.active_ratio_ci);
 }
 
 bool read_comparison(ByteReader& rd, TechniqueComparison& c) {
   std::uint32_t technique = 0;
+  std::uint8_t sampled = 0;
+  // Rows written before the sampling fields fail to decode here and are
+  // simply re-run on resume — the row codec is not versioned by design
+  // (the journal header's sweep hash already pins the semantic config).
   const bool ok = rd.str(c.workload) && rd.u32(technique) &&
                   rd.f64(c.energy_saving_pct) && rd.f64(c.weighted_speedup) &&
                   rd.f64(c.fair_speedup) && rd.f64(c.rpki_base) &&
@@ -39,8 +49,14 @@ bool read_comparison(ByteReader& rd, TechniqueComparison& c) {
                   rd.f64(c.mpki_increase) && rd.f64(c.active_ratio_pct) &&
                   rd.u64(c.ecc_corrected_reads) && rd.u64(c.fault_refetches) &&
                   rd.u64(c.fault_data_loss) && rd.u64(c.fault_disabled_lines) &&
-                  rd.f64(c.correction_rpki);
-  if (ok) c.technique = static_cast<Technique>(technique);
+                  rd.f64(c.correction_rpki) && rd.u8(sampled) &&
+                  rd.f64(c.energy_saving_ci) && rd.f64(c.weighted_speedup_ci) &&
+                  rd.f64(c.rpki_tech_ci) && rd.f64(c.mpki_tech_ci) &&
+                  rd.f64(c.active_ratio_ci);
+  if (ok) {
+    c.technique = static_cast<Technique>(technique);
+    c.sampled = sampled != 0;
+  }
   return ok;
 }
 

@@ -28,6 +28,16 @@ class BlockPattern {
  public:
   virtual ~BlockPattern() = default;
   virtual block_t next_block() = 0;
+
+  /// Advance the stream past `n` blocks without materialising them. The
+  /// sampling executor uses this to fast-forward between detailed windows.
+  /// Deterministic patterns override with closed-form jumps; stochastic
+  /// patterns whose draws are iid may leave the stream untouched (skipping
+  /// iid draws is statistically a no-op). The default pulls and discards,
+  /// which is always correct but linear-time.
+  virtual void skip(std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n; ++i) next_block();
+  }
 };
 
 /// Abstract pull-based stream of memory references.
@@ -35,6 +45,17 @@ class AccessGenerator {
  public:
   virtual ~AccessGenerator() = default;
   virtual MemRef next() = 0;
+
+  /// Advance the stream past ~`n_instr` retired instructions (each MemRef
+  /// covers gap+1 of them) without materialising references. Default pulls
+  /// and discards; InstructionMixer overrides with an expected-count jump.
+  virtual void skip(std::uint64_t n_instr) {
+    std::uint64_t done = 0;
+    while (done < n_instr) {
+      const MemRef r = next();
+      done += static_cast<std::uint64_t>(r.gap) + 1;
+    }
+  }
 };
 
 }  // namespace esteem::trace

@@ -19,6 +19,14 @@ block_t StreamingPattern::next_block() {
   return b;
 }
 
+void StreamingPattern::skip(std::uint64_t n) {
+  // pos_ only ever holds multiples of stride_ below region_, so the walk is
+  // a cycle of length ceil(region/stride) over grid indices.
+  const std::uint64_t cycle = (region_ + stride_ - 1) / stride_;
+  const std::uint64_t idx = (pos_ / stride_ + n) % cycle;
+  pos_ = idx * stride_;
+}
+
 RandomWorkingSetPattern::RandomWorkingSetPattern(block_t base, std::uint64_t ws_blocks,
                                                  std::uint64_t hot_blocks, double hot_prob,
                                                  std::uint64_t seed)
@@ -89,6 +97,23 @@ block_t PointerChasePattern::next_block() {
   return base_ + cur_;
 }
 
+void PointerChasePattern::skip(std::uint64_t n) {
+  // Compose x -> mult*x + inc with itself n times by repeated squaring; all
+  // arithmetic mod 2^64 (a multiple of ws_pow2_, so the mask commutes).
+  std::uint64_t a = mult_, c = inc_;
+  std::uint64_t acc_a = 1, acc_c = 0;
+  while (n != 0) {
+    if (n & 1) {
+      acc_a *= a;
+      acc_c = acc_c * a + c;
+    }
+    c *= a + 1;
+    a *= a;
+    n >>= 1;
+  }
+  cur_ = (acc_a * cur_ + acc_c) & (ws_pow2_ - 1);
+}
+
 MultiScanPattern::MultiScanPattern(block_t base, std::vector<std::uint32_t> depths,
                                    const GeneratorContext& ctx,
                                    std::uint64_t sweeps_per_depth,
@@ -121,6 +146,28 @@ block_t MultiScanPattern::next_block() {
   return b;
 }
 
+void MultiScanPattern::skip(std::uint64_t n) {
+  std::uint64_t full = 0;
+  for (std::uint32_t d : depths_) {
+    full += static_cast<std::uint64_t>(d) * span_ * sweeps_per_depth_;
+  }
+  n %= full;
+  while (n > 0) {
+    const std::uint64_t region = static_cast<std::uint64_t>(depths_[depth_idx_]) * span_;
+    const std::uint64_t left = region * (sweeps_per_depth_ - sweep_) - pos_;
+    if (n < left) {
+      const std::uint64_t adv = pos_ + n;
+      sweep_ += adv / region;
+      pos_ = adv % region;
+      return;
+    }
+    n -= left;
+    pos_ = 0;
+    sweep_ = 0;
+    depth_idx_ = (depth_idx_ + 1) % depths_.size();
+  }
+}
+
 MixturePattern::MixturePattern(std::vector<std::unique_ptr<BlockPattern>> children,
                                std::vector<double> weights, std::uint64_t seed)
     : children_(std::move(children)), rng_(seed) {
@@ -139,6 +186,7 @@ MixturePattern::MixturePattern(std::vector<std::unique_ptr<BlockPattern>> childr
     cumulative_.push_back(acc);
   }
   cumulative_.back() = 1.0;  // guard against FP drift
+  skip_carry_.assign(children_.size(), 0.0);
 }
 
 block_t MixturePattern::next_block() {
@@ -148,6 +196,18 @@ block_t MixturePattern::next_block() {
       std::min<std::size_t>(static_cast<std::size_t>(it - cumulative_.begin()),
                             children_.size() - 1);
   return children_[idx]->next_block();
+}
+
+void MixturePattern::skip(std::uint64_t n) {
+  double prev = 0.0;
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    const double weight = cumulative_[i] - prev;
+    prev = cumulative_[i];
+    const double due = static_cast<double>(n) * weight + skip_carry_[i];
+    const auto whole = static_cast<std::uint64_t>(due);
+    skip_carry_[i] = due - static_cast<double>(whole);
+    if (whole > 0) children_[i]->skip(whole);
+  }
 }
 
 PhasedPattern::PhasedPattern(std::vector<std::unique_ptr<BlockPattern>> children,
@@ -164,6 +224,38 @@ block_t PhasedPattern::next_block() {
     active_ = (active_ + 1) % children_.size();
   }
   return b;
+}
+
+void PhasedPattern::skip(std::uint64_t n) {
+  if (n == 0) return;
+  std::vector<std::uint64_t> take(children_.size(), 0);
+  std::size_t idx = active_;
+  // Finish the current phase first.
+  const std::uint64_t head = std::min(n, refs_per_phase_ - pos_);
+  take[idx] += head;
+  n -= head;
+  pos_ += head;
+  if (pos_ >= refs_per_phase_) {
+    pos_ = 0;
+    idx = (idx + 1) % children_.size();
+  }
+  // n > 0 here implies the head completed its phase, so pos_ == 0.
+  const std::uint64_t phases = n / refs_per_phase_;
+  const std::uint64_t per_child = phases / children_.size();
+  if (per_child > 0) {
+    for (std::uint64_t& t : take) t += per_child * refs_per_phase_;
+  }
+  for (std::uint64_t p = 0; p < phases % children_.size(); ++p) {
+    take[(idx + p) % children_.size()] += refs_per_phase_;
+  }
+  idx = (idx + phases) % children_.size();
+  n -= phases * refs_per_phase_;
+  take[idx] += n;
+  pos_ += n;
+  active_ = idx;
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (take[i] > 0) children_[i]->skip(take[i]);
+  }
 }
 
 TemporalReusePattern::TemporalReusePattern(std::unique_ptr<BlockPattern> child,
@@ -194,6 +286,22 @@ block_t TemporalReusePattern::next_block() {
   return b;
 }
 
+void TemporalReusePattern::skip(std::uint64_t n) {
+  const double due = static_cast<double>(n) * (1.0 - reuse_prob_) + skip_carry_;
+  const auto fresh = static_cast<std::uint64_t>(due);
+  skip_carry_ = due - static_cast<double>(fresh);
+  // Skip the bulk, then pull the tail through the ring so the recency window
+  // holds the blocks a continuous run would have ended on.
+  const std::uint64_t warm = std::min<std::uint64_t>(fresh, ring_.size());
+  child_->skip(fresh - warm);
+  for (std::uint64_t i = 0; i < warm; ++i) {
+    ring_[head_] = child_->next_block();
+    head_ = (head_ + 1) % static_cast<std::uint32_t>(ring_.size());
+    filled_ = std::min<std::uint32_t>(filled_ + 1,
+                                      static_cast<std::uint32_t>(ring_.size()));
+  }
+}
+
 InstructionMixer::InstructionMixer(std::unique_ptr<BlockPattern> pattern, double mem_ratio,
                                    double store_ratio, std::uint64_t seed)
     : pattern_(std::move(pattern)),
@@ -221,6 +329,13 @@ MemRef InstructionMixer::next() {
     ref.gap = static_cast<std::uint32_t>(std::min(g, 1e6));
   }
   return ref;
+}
+
+void InstructionMixer::skip(std::uint64_t n_instr) {
+  const double due = static_cast<double>(n_instr) * mem_ratio_ + skip_carry_;
+  const auto refs = static_cast<std::uint64_t>(due);
+  skip_carry_ = due - static_cast<double>(refs);
+  if (refs > 0) pattern_->skip(refs);
 }
 
 }  // namespace esteem::trace

@@ -20,6 +20,7 @@ class StreamingPattern final : public BlockPattern {
  public:
   StreamingPattern(block_t base, std::uint64_t region_blocks, std::uint64_t stride = 1);
   block_t next_block() override;
+  void skip(std::uint64_t n) override;  ///< Exact: closed-form cycle jump.
 
  private:
   block_t base_;
@@ -37,6 +38,9 @@ class RandomWorkingSetPattern final : public BlockPattern {
                           std::uint64_t hot_blocks, double hot_prob,
                           std::uint64_t seed);
   block_t next_block() override;
+  /// Draws are iid, so skipping them is a statistical no-op; leaving the RNG
+  /// untouched keeps sampled runs deterministic for a given seed.
+  void skip(std::uint64_t) override {}
 
  private:
   block_t base_;
@@ -57,6 +61,7 @@ class NestedWorkingSetPattern final : public BlockPattern {
   NestedWorkingSetPattern(block_t base, std::uint64_t ws_blocks, std::uint32_t levels,
                           double size_ratio, double weight_ratio, std::uint64_t seed);
   block_t next_block() override;
+  void skip(std::uint64_t) override {}  ///< iid draws — see RandomWorkingSetPattern.
 
  private:
   block_t base_;
@@ -72,6 +77,7 @@ class PointerChasePattern final : public BlockPattern {
  public:
   PointerChasePattern(block_t base, std::uint64_t ws_blocks, std::uint64_t seed);
   block_t next_block() override;
+  void skip(std::uint64_t n) override;  ///< Exact: LCG jump-ahead in O(log n).
 
  private:
   block_t base_;
@@ -94,6 +100,7 @@ class MultiScanPattern final : public BlockPattern {
                    const GeneratorContext& ctx, std::uint64_t sweeps_per_depth = 2,
                    std::uint32_t sets_span = 0);
   block_t next_block() override;
+  void skip(std::uint64_t n) override;  ///< Exact: modular walk over depth sweeps.
 
  private:
   block_t base_;
@@ -112,10 +119,15 @@ class MixturePattern final : public BlockPattern {
   MixturePattern(std::vector<std::unique_ptr<BlockPattern>> children,
                  std::vector<double> weights, std::uint64_t seed);
   block_t next_block() override;
+  /// Statistical: routes `n * weight_i` skips (with a fractional carry) to
+  /// each child without drawing from the RNG, so the selector stream is
+  /// unperturbed and the expected per-child consumption matches.
+  void skip(std::uint64_t n) override;
 
  private:
   std::vector<std::unique_ptr<BlockPattern>> children_;
   std::vector<double> cumulative_;
+  std::vector<double> skip_carry_;
   Rng rng_;
 };
 
@@ -128,6 +140,7 @@ class PhasedPattern final : public BlockPattern {
   PhasedPattern(std::vector<std::unique_ptr<BlockPattern>> children,
                 std::uint64_t refs_per_phase);
   block_t next_block() override;
+  void skip(std::uint64_t n) override;  ///< Exact: per-phase routing arithmetic.
 
  private:
   std::vector<std::unique_ptr<BlockPattern>> children_;
@@ -147,6 +160,11 @@ class TemporalReusePattern final : public BlockPattern {
   TemporalReusePattern(std::unique_ptr<BlockPattern> child, double reuse_prob,
                        std::uint32_t window, std::uint64_t seed);
   block_t next_block() override;
+  /// Statistical: the child advances by the expected fresh-pull count
+  /// `n * (1 - reuse_prob)` (fractional carry), and the recency ring is
+  /// re-warmed with the tail of those pulls so post-skip reuses reference
+  /// genuinely recent blocks. The RNG is untouched.
+  void skip(std::uint64_t n) override;
 
  private:
   std::unique_ptr<BlockPattern> child_;
@@ -154,6 +172,7 @@ class TemporalReusePattern final : public BlockPattern {
   std::vector<block_t> ring_;
   std::uint32_t head_ = 0;
   std::uint32_t filled_ = 0;
+  double skip_carry_ = 0.0;
   Rng rng_;
 };
 
@@ -164,11 +183,16 @@ class InstructionMixer final : public AccessGenerator {
   InstructionMixer(std::unique_ptr<BlockPattern> pattern, double mem_ratio,
                    double store_ratio, std::uint64_t seed);
   MemRef next() override;
+  /// Statistical: forwards the expected memory-op count `n_instr * mem_ratio`
+  /// (fractional carry) to the block pattern; gap/store draws are iid so the
+  /// RNG is untouched.
+  void skip(std::uint64_t n_instr) override;
 
  private:
   std::unique_ptr<BlockPattern> pattern_;
   double mem_ratio_;
   double store_ratio_;
+  double skip_carry_ = 0.0;
   Rng rng_;
 };
 

@@ -31,11 +31,37 @@ ScaleSpec smoke_scale() {
   return s;
 }
 
+ScaleSpec paper_scale() {
+  ScaleSpec s;
+  s.label = "paper";
+  s.instr_per_core = kPaperInstrPerCore;
+  s.warmup_per_core = kPaperInstrPerCore / 5;
+  s.seed = 42;
+  // The interval is already the paper's 10M cycles at this instruction count;
+  // no synthetic-IPC compensation is layered on top.
+  s.interval_env_factor = 1.0;
+  s.threads = static_cast<unsigned>(env_u64("ESTEEM_THREADS", 0));
+  s.sampling.enabled = true;
+  s.sampling.window_instr = 40'000;
+  s.sampling.detail_warm_instr = 10'000;
+  s.sampling.ff_warm_instr = 200'000;
+  s.sampling.cold_warm_instr = 2'000'000;
+  s.sampling.period_instr = 4'000'000;  // 100 windows per 400M instructions
+  return s;
+}
+
 std::string scale_fingerprint(const ScaleSpec& scale) {
   std::ostringstream os;
   os << "v1;instr=" << scale.instr_per_core << ";warmup=" << scale.warmup_per_core
      << ";seed=" << scale.seed << ";ifactor=" << scale.interval_env_factor
      << ";hyst=" << kScaledHysteresis << ";shrink=" << kScaledShrinkConfirm;
+  // Appended only when sampling is on, so the exhaustive tiers' golden keys
+  // (recorded before sampling existed) stay valid.
+  if (scale.sampling.enabled) {
+    os << ";sampling=" << scale.sampling.window_instr << '/'
+       << scale.sampling.detail_warm_instr << '/' << scale.sampling.ff_warm_instr
+       << '/' << scale.sampling.cold_warm_instr << '/' << scale.sampling.period_instr;
+  }
   return os.str();
 }
 
@@ -56,6 +82,7 @@ SystemConfig apply_scale(SystemConfig cfg, const ScaleSpec& scale,
                       interval_factor);
   cfg.esteem.hysteresis_intervals = kScaledHysteresis;
   cfg.esteem.shrink_confirm_intervals = kScaledShrinkConfirm;
+  cfg.sampling = scale.sampling;
   return cfg;
 }
 

@@ -41,6 +41,10 @@ struct ScaleSpec {
   /// Sweep worker threads (0 = hardware concurrency). Not part of the
   /// fingerprint: serial and threaded sweeps are bit-identical.
   unsigned threads = 0;
+  /// SMARTS-style statistical sampling (see docs/SAMPLING.md). Disabled for
+  /// the exhaustive tiers; the "paper" tier enables it so 400M-instruction
+  /// runs complete in minutes. Part of the fingerprint when enabled.
+  SamplingConfig sampling;
 };
 
 /// The bench harness scale: ESTEEM_INSTR / ESTEEM_WARMUP / ESTEEM_SEED /
@@ -51,6 +55,12 @@ ScaleSpec bench_scale();
 /// core). Deliberately ignores the ESTEEM_* environment so "smoke" always
 /// means the same runs everywhere (CI and local).
 ScaleSpec smoke_scale();
+
+/// The paper's full measurement scale (400M instructions per core, 10M-cycle
+/// intervals) made tractable by SMARTS sampling: 100 detailed 40k-instruction
+/// windows per 4M-instruction period, functionally warmed in between.
+/// Deliberately ignores the ESTEEM_* environment except ESTEEM_THREADS.
+ScaleSpec paper_scale();
 
 /// Canonical identity of a scale, e.g.
 /// "v1;instr=300000;warmup=60000;seed=42;ifactor=4;hyst=2;shrink=2".

@@ -17,6 +17,12 @@
 //                                gap between repeat 0 and repeat 1 measures
 //                                memoization, not simulation.
 //     --json FILE                also write the JSON line to FILE
+//     --sampling-speedup         instead of the repeat loop, run the sweep
+//                                twice cold — exhaustive, then SMARTS-sampled
+//                                (docs/SAMPLING.md) — and report the
+//                                wall-clock speedup. Meant for the paper
+//                                scale (--instr 400000000), where sampling
+//                                must deliver >= 10x.
 //
 // The JSON reports, per repeat: wall seconds, simulated Minstr/s (total
 // simulated instructions including warm-up across every run of the sweep,
@@ -54,7 +60,7 @@ using namespace esteem;
                "usage: esteem_bench [--workloads single|dual|N]\n"
                "                    [--techniques A[,B]] [--instr N]\n"
                "                    [--warmup N] [--jobs N] [--repeat K]\n"
-               "                    [--json FILE]\n");
+               "                    [--json FILE] [--sampling-speedup]\n");
   std::exit(err ? 2 : 0);
 }
 
@@ -85,6 +91,7 @@ int main(int argc, char** argv) {
   instr_t warmup = 0;  // 0 = instr / 5
   unsigned jobs = 0;
   unsigned repeat = 2;
+  bool sampling_speedup = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -101,6 +108,7 @@ int main(int argc, char** argv) {
     else if (arg == "--repeat")
       repeat = static_cast<unsigned>(std::strtoul(value().c_str(), nullptr, 10));
     else if (arg == "--json") json_path = value();
+    else if (arg == "--sampling-speedup") sampling_speedup = true;
     else if (arg == "--help" || arg == "-h") usage();
     else usage(("unknown option " + arg).c_str());
   }
@@ -160,6 +168,63 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(warmup), threads, repeat);
 
   configure_timer.stop();
+
+  if (sampling_speedup) {
+    // Two cold sweeps over the same spec: exhaustive, then SMARTS-sampled
+    // with the default (paper-tier) sampling parameters. The memo cache is
+    // cleared between them so both legs measure simulation, not memoization.
+    if (instr / spec.config.sampling.period_instr < 2) {
+      usage("--sampling-speedup needs --instr of at least two sampling "
+            "periods (8000000)");
+    }
+    auto timed_sweep = [&](const sim::SweepSpec& s, const char* what) {
+      sim::RunCache::instance().clear();
+      const auto t0 = std::chrono::steady_clock::now();
+      const sim::SweepResult result = sim::run_sweep(s);
+      const auto t1 = std::chrono::steady_clock::now();
+      if (!result.ok()) {
+        for (const sim::RunError& e : result.errors) {
+          std::fprintf(stderr, "esteem_bench: %s workload %s (%s) failed: %s\n",
+                       what, e.workload.c_str(), e.technique.c_str(),
+                       e.what.c_str());
+        }
+        std::exit(3);
+      }
+      const double wall = std::chrono::duration<double>(t1 - t0).count();
+      std::fprintf(stderr, "  %s: %.3f s wall (%.2f simulated Minstr/s)\n",
+                   what, wall, instr_per_sweep / 1e6 / std::max(wall, 1e-9));
+      return wall;
+    };
+    const double exhaustive_s = timed_sweep(spec, "exhaustive");
+    sim::SweepSpec sampled = spec;
+    sampled.config.sampling.enabled = true;
+    const double sampled_s = timed_sweep(sampled, "sampled");
+    const double speedup = exhaustive_s / std::max(sampled_s, 1e-9);
+    std::fprintf(stderr, "  sampled-vs-exhaustive speedup: %.2fx\n", speedup);
+
+    std::ostringstream json;
+    char buf[64];
+    json << "{\"mode\":\"sampling_speedup\",\"workloads\":" << spec.workloads.size()
+         << ",\"instr_per_core\":" << instr << ",\"warmup_per_core\":" << warmup
+         << ",\"threads\":" << threads;
+    std::snprintf(buf, sizeof buf, "%.6f", exhaustive_s);
+    json << ",\"exhaustive_wall_seconds\":" << buf;
+    std::snprintf(buf, sizeof buf, "%.6f", sampled_s);
+    json << ",\"sampled_wall_seconds\":" << buf;
+    std::snprintf(buf, sizeof buf, "%.3f", speedup);
+    json << ",\"speedup\":" << buf << '}';
+    std::printf("%s\n", json.str().c_str());
+    if (!json_path.empty()) {
+      std::FILE* f = std::fopen(json_path.c_str(), "w");
+      if (!f) {
+        std::fprintf(stderr, "esteem_bench: cannot write %s\n", json_path.c_str());
+        return 2;
+      }
+      std::fprintf(f, "%s\n", json.str().c_str());
+      std::fclose(f);
+    }
+    return 0;
+  }
 
   std::vector<RepeatSample> samples;
   for (unsigned r = 0; r < repeat; ++r) {

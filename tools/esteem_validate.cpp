@@ -12,8 +12,11 @@
 //
 // Options:
 //   --golden PATH       golden file (default validation/golden.json)
-//   --scale smoke|bench pinned 300k-instr smoke scale (default) or the
-//                       env-driven bench scale (ESTEEM_INSTR etc.)
+//   --scale smoke|bench|paper
+//                       pinned 300k-instr smoke scale (default), the
+//                       env-driven bench scale (ESTEEM_INSTR etc.), or the
+//                       paper's 400M-instr scale made tractable by SMARTS
+//                       sampling (docs/SAMPLING.md)
 //   --instr N --warmup N --seed N   override the chosen scale
 //   --jobs N            sweep worker threads (0 = hardware concurrency)
 //   --figures a,b,...   run a subset (default fig3,fig4,fig5,fig6)
@@ -30,10 +33,10 @@
 // journaled and the process exits with code 5 instead of scoring partial
 // data.
 //
-// Paper-shape checks (signs, §7.2 bands) are gated only at the bench scale:
-// at tiny instruction budgets the reconfiguration machinery barely engages
-// and the paper's ordering inverts (see EXPERIMENTS.md). Drift-vs-golden is
-// gated at every scale.
+// Paper-shape checks (signs, §7.2 bands) are gated at the bench and paper
+// scales: at tiny instruction budgets the reconfiguration machinery barely
+// engages and the paper's ordering inverts (see EXPERIMENTS.md).
+// Drift-vs-golden is gated at every scale.
 //
 // Exit codes: 0 pass, 1 check failed, 2 usage error, 4 runtime error,
 // 5 interrupted.
@@ -76,7 +79,7 @@ struct Options {
 void usage(std::FILE* to) {
   std::fprintf(to,
                "usage: esteem_validate [--check|--update-golden|--results|--list]\n"
-               "                       [--golden PATH] [--scale smoke|bench]\n"
+               "                       [--golden PATH] [--scale smoke|bench|paper]\n"
                "                       [--instr N] [--warmup N] [--seed N] [--jobs N]\n"
                "                       [--figures fig3,fig4,...]\n"
                "                       [--perturb-refresh-energy X]\n"
@@ -120,8 +123,9 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (a == "--scale") {
       if (!need_value(i)) return false;
       opt.scale_name = argv[++i];
-      if (opt.scale_name != "smoke" && opt.scale_name != "bench") {
-        std::fprintf(stderr, "--scale must be 'smoke' or 'bench'\n");
+      if (opt.scale_name != "smoke" && opt.scale_name != "bench" &&
+          opt.scale_name != "paper") {
+        std::fprintf(stderr, "--scale must be 'smoke', 'bench' or 'paper'\n");
         return false;
       }
     } else if (a == "--figures") {
@@ -168,7 +172,9 @@ bool parse_args(int argc, char** argv, Options& opt) {
 }
 
 ScaleSpec resolve_scale(const Options& opt) {
-  ScaleSpec s = opt.scale_name == "bench" ? bench_scale() : smoke_scale();
+  ScaleSpec s = opt.scale_name == "bench"   ? bench_scale()
+                : opt.scale_name == "paper" ? paper_scale()
+                                            : smoke_scale();
   if (opt.instr >= 0) {
     s.instr_per_core = static_cast<instr_t>(opt.instr);
     if (opt.warmup < 0) s.warmup_per_core = s.instr_per_core / 5;
@@ -225,7 +231,7 @@ int do_check(const Options& opt, const ScaleSpec& scale) {
                          "(re-run with --resume to continue)\n");
     return resilience::kExitInterrupted;
   }
-  const bool paper_checks = scale.label == "bench";
+  const bool paper_checks = scale.label == "bench" || scale.label == "paper";
   const Scorecard card = build_scorecard(results, have_golden ? &golden : nullptr,
                                          paper_checks);
   std::fputs(scorecard_text(card).c_str(), stdout);
@@ -305,8 +311,9 @@ int do_results(const Options& opt, const ScaleSpec& scale) {
                          "results\n");
     return resilience::kExitInterrupted;
   }
-  const Scorecard card = build_scorecard(results, have_golden ? &golden : nullptr,
-                                         scale.label == "bench");
+  const Scorecard card = build_scorecard(
+      results, have_golden ? &golden : nullptr,
+      scale.label == "bench" || scale.label == "paper");
   const ExactChecks checks = run_exact_checks(scale);
   std::fputs(results_book_markdown(results, card, checks).c_str(), stdout);
   return 0;
