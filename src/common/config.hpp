@@ -154,6 +154,12 @@ struct ResilienceConfig {
   std::uint32_t max_retries = 0;
   /// Base delay before the first retry; doubles per attempt (capped).
   std::uint32_t backoff_ms = 100;
+  /// Circuit breaker: after this many *consecutive* run failures (across
+  /// workloads, counted after retries are exhausted) the sweep runner stops
+  /// dispatching new rows and reports the remainder as skipped, so a
+  /// systemically broken config exits with code 3 early instead of burning
+  /// the whole matrix through per-row watchdog retries. 0 = off.
+  std::uint32_t max_consecutive_errors = 0;
 };
 
 /// Multi-process sweep-service knobs (src/service; DESIGN.md §12). Like
@@ -177,6 +183,12 @@ struct ServiceConfig {
   /// is set (and ESTEEM_CRASH_AFTER_ROWS overrides the value per process),
   /// so a stray config file can never kill production workers.
   std::uint32_t crash_after_rows = 0;
+  /// How lease-journal appends are serialized: "append" relies on O_APPEND
+  /// write atomicity (correct on local POSIX filesystems); "lockfile" takes
+  /// an advisory lock file around every append for filesystems that do not
+  /// guarantee atomic appends (NFS/SMB). Stale locks older than
+  /// lease_ttl_ms are broken and counted in service.locks_broken.
+  std::string lock_mode = "append";
 };
 
 /// Fleet observability knobs (src/telemetry/export, src/service/observer;

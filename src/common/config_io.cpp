@@ -311,6 +311,10 @@ std::vector<ConfigKeySpec> build_schema() {
                       "Base retry delay in ms; doubles per attempt (capped at 2^16x)",
                       [](SystemConfig& c, std::uint64_t v) { c.resilience.backoff_ms = static_cast<std::uint32_t>(v); },
                       [](const SystemConfig& c) -> std::uint64_t { return c.resilience.backoff_ms; }));
+  s.push_back(int_key("resilience", "max_consecutive_errors",
+                      "Circuit breaker: stop dispatching sweep rows after N consecutive run failures (0 = off)",
+                      [](SystemConfig& c, std::uint64_t v) { c.resilience.max_consecutive_errors = static_cast<std::uint32_t>(v); },
+                      [](const SystemConfig& c) -> std::uint64_t { return c.resilience.max_consecutive_errors; }));
 
   s.push_back(int_key("service", "lease_ttl_ms",
                       "Sweep-service lease TTL in ms; an unrenewed row lease older than this may be re-leased",
@@ -328,6 +332,10 @@ std::vector<ConfigKeySpec> build_schema() {
                       "Chaos hook: worker self-SIGKILLs mid-lease after completing N rows (0 = off; armed only with ESTEEM_CHAOS set)",
                       [](SystemConfig& c, std::uint64_t v) { c.service.crash_after_rows = static_cast<std::uint32_t>(v); },
                       [](const SystemConfig& c) -> std::uint64_t { return c.service.crash_after_rows; }));
+  s.push_back(str_key("service", "lock_mode",
+                      "Lease-journal append serialization: append (O_APPEND atomicity) or lockfile (advisory lock for NFS/SMB)",
+                      [](SystemConfig& c, std::string v) { c.service.lock_mode = std::move(v); },
+                      [](const SystemConfig& c) { return c.service.lock_mode; }));
 
   s.push_back(int_key("observability", "flush_ms",
                       "Sidecar snapshot flush period in ms for service workers (0 = observability plane off)",

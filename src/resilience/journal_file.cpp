@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "chaos/file_ops.hpp"
 #include "common/bytes.hpp"
 #include "resilience/crc32.hpp"
 #include "telemetry/telemetry.hpp"
@@ -172,6 +173,15 @@ bool JournalFile::decode(const std::string& line, JournalRecord& out) {
 
 JournalFile::~JournalFile() { close(); }
 
+void JournalFile::set_domain(const std::string& domain) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  pt_open_ = domain + ".open";
+  pt_write_ = domain + ".append.write";
+  pt_fsync_ = domain + ".append.fsync";
+  pt_crash_before_ = domain + ".crash.before_append";
+  pt_crash_after_ = domain + ".crash.after_append";
+}
+
 bool JournalFile::open(const std::string& path, bool truncate) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (fd_ >= 0) {
@@ -186,7 +196,7 @@ bool JournalFile::open(const std::string& path, bool truncate) {
 #else
   int flags = O_WRONLY | O_CREAT | O_APPEND;
   if (truncate) flags |= O_TRUNC;
-  const int fd = ::open(path.c_str(), flags, 0644);
+  const int fd = chaos::px_open(pt_open_, path.c_str(), flags, 0644);
   if (fd < 0) {
     last_error_ = "journal: cannot open " + path + ": " + std::strerror(errno);
     return false;
@@ -208,12 +218,14 @@ bool JournalFile::append(const JournalRecord& record) {
   return false;
 #else
   const std::string line = encode(record) + "\n";
+  chaos::crashpoint(pt_crash_before_);
   // One write(2) per record: with O_APPEND the kernel appends the whole
   // buffer at the current end atomically w.r.t. other appenders, so a crash
   // tears at most the final line.
   std::size_t off = 0;
   while (off < line.size()) {
-    const ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+    const ssize_t n =
+        chaos::px_write(pt_write_, fd_, line.data() + off, line.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
       last_error_ = std::string("journal: write failed: ") + std::strerror(errno);
@@ -221,10 +233,11 @@ bool JournalFile::append(const JournalRecord& record) {
     }
     off += static_cast<std::size_t>(n);
   }
-  if (::fsync(fd_) != 0) {
+  if (chaos::px_fsync(pt_fsync_, fd_) != 0) {
     last_error_ = std::string("journal: fsync failed: ") + std::strerror(errno);
     return false;
   }
+  chaos::crashpoint(pt_crash_after_);
   return true;
 #endif
 }

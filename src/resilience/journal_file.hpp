@@ -86,6 +86,13 @@ class JournalFile {
   JournalFile(const JournalFile&) = delete;
   JournalFile& operator=(const JournalFile&) = delete;
 
+  /// Names this journal's chaos-injection points (DESIGN.md §15): domain
+  /// `d` consults `d.open`, `d.append.write`, `d.append.fsync`,
+  /// `d.crash.before_append`, `d.crash.after_append`. Call before open();
+  /// the default domain is "journal" (unregistered — fault plans target the
+  /// registered domains: "sweep", "lease", "sidecar").
+  void set_domain(const std::string& domain);
+
   /// Opens `path` for appending. `truncate` starts a fresh journal;
   /// otherwise existing records are preserved and appends go after them.
   /// Returns false (with the reason in last_error()) when the file cannot
@@ -118,6 +125,13 @@ class JournalFile {
   int fd_ = -1;
   std::string path_;
   std::string last_error_;
+  // Chaos point names, precomputed so the disarmed fast path never builds
+  // strings (see set_domain()).
+  std::string pt_open_ = "journal.open";
+  std::string pt_write_ = "journal.append.write";
+  std::string pt_fsync_ = "journal.append.fsync";
+  std::string pt_crash_before_ = "journal.crash.before_append";
+  std::string pt_crash_after_ = "journal.crash.after_append";
 };
 
 }  // namespace esteem::resilience

@@ -1,0 +1,93 @@
+#include "resilience/lock_file.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <thread>
+
+#include "chaos/file_ops.hpp"
+#include "telemetry/telemetry.hpp"
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace esteem::resilience {
+
+namespace fs = std::filesystem;
+
+LockFile::~LockFile() { release(); }
+
+bool LockFile::acquire(const std::string& path, const std::string& owner,
+                       std::uint32_t stale_ms, std::uint32_t timeout_ms) {
+#if defined(_WIN32)
+  (void)path;
+  (void)owner;
+  (void)stale_ms;
+  (void)timeout_ms;
+  last_error_ = "lockfile: unsupported platform";
+  return false;
+#else
+  if (held_) {
+    last_error_ = "lockfile: already held";
+    return false;
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const int fd = chaos::px_open("lock.open", path.c_str(),
+                                  O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd >= 0) {
+      // Best-effort owner tag; losing it costs only debuggability.
+      (void)!::write(fd, owner.data(), owner.size());
+      ::close(fd);
+      path_ = path;
+      held_ = true;
+      last_error_.clear();
+      chaos::crashpoint("lock.crash.held");
+      return true;
+    }
+    if (errno == EEXIST) {
+      // Held by someone — or by a corpse. Break locks older than stale_ms;
+      // unlink races with other breakers are benign (ENOENT = someone else
+      // broke it first) and with the holder's own release (same effect).
+      std::error_code ec;
+      const auto mtime = fs::last_write_time(path, ec);
+      if (!ec) {
+        const auto age = fs::file_time_type::clock::now() - mtime;
+        if (age > std::chrono::milliseconds(stale_ms)) {
+          fs::remove(path, ec);
+          if (!ec && telemetry::active()) {
+            telemetry::registry().counter("service.locks_broken").add(1);
+          }
+          continue;
+        }
+      }
+    }
+    // Transient error (EEXIST with a fresh lock, injected ENOSPC/EIO, a
+    // racing unlink): retry until the deadline.
+    if (std::chrono::steady_clock::now() >= deadline) {
+      if (telemetry::active()) {
+        telemetry::registry().counter("service.lock_timeouts").add(1);
+      }
+      last_error_ = "lockfile: timeout acquiring " + path + " (last errno: " +
+                    std::strerror(errno) + ")";
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+#endif
+}
+
+void LockFile::release() {
+  if (!held_) return;
+  std::error_code ec;
+  fs::remove(path_, ec);
+  held_ = false;
+  path_.clear();
+}
+
+}  // namespace esteem::resilience

@@ -1,0 +1,45 @@
+// Advisory exclusive lock file for filesystems without atomic O_APPEND
+// (NFS/SMB — the caveat ROADMAP flags for the lease table). Acquisition is
+// open(O_CREAT|O_EXCL): exactly one creator wins, everyone else retries
+// until `timeout_ms`. A holder that died without releasing is detected by
+// the lock file's age — older than `stale_ms` and it is broken (unlinked)
+// and re-contested, with the break counted in `service.locks_broken`.
+//
+// `stale_ms` must comfortably exceed the longest critical section (here:
+// one journal append + fsync, milliseconds) — the lease TTL, which already
+// encodes "how long may a worker go dark", is the natural choice and is
+// what LeaseTable passes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace esteem::resilience {
+
+class LockFile {
+ public:
+  LockFile() = default;
+  ~LockFile();
+  LockFile(const LockFile&) = delete;
+  LockFile& operator=(const LockFile&) = delete;
+
+  /// Blocks up to `timeout_ms` trying to create `path` exclusively,
+  /// breaking locks older than `stale_ms`. `owner` is written into the
+  /// lock file for post-mortem debugging. False on timeout or I/O error
+  /// (reason in last_error()).
+  bool acquire(const std::string& path, const std::string& owner,
+               std::uint32_t stale_ms, std::uint32_t timeout_ms);
+
+  /// Unlinks the lock file; no-op when not held.
+  void release();
+
+  bool held() const noexcept { return held_; }
+  const std::string& last_error() const noexcept { return last_error_; }
+
+ private:
+  std::string path_;
+  bool held_ = false;
+  std::string last_error_;
+};
+
+}  // namespace esteem::resilience

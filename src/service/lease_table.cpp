@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/bytes.hpp"
+#include "resilience/lock_file.hpp"
 #include "service/wire.hpp"
 #include "sim/run_cache.hpp"
 #include "sim/sweep_journal.hpp"
@@ -81,6 +82,23 @@ std::string LeaseTable::last_error() const {
   return last_error_;
 }
 
+bool LeaseTable::locked_append(const resilience::JournalRecord& rec) {
+  if (spec_.config.service.lock_mode != "lockfile") return file_.append(rec);
+  // Lock-file serialization (ROADMAP's NFS/SMB caveat): O_APPEND does not
+  // give concurrent appenders a total byte order there, so take an advisory
+  // exclusive lock around each record. The lease TTL already bounds "how
+  // long may a holder go dark", so it doubles as the stale-lock horizon.
+  const std::uint32_t ttl = spec_.config.service.lease_ttl_ms;
+  resilience::LockFile lock;
+  if (!lock.acquire(journal_path(dir_) + ".lock", owner_, ttl,
+                    /*timeout_ms=*/ttl * 2 + 2000)) {
+    const std::lock_guard<std::mutex> lock_err(mutex_);
+    last_error_ = lock.last_error();
+    return false;
+  }
+  return file_.append(rec);
+}
+
 bool LeaseTable::write_header() {
   const std::string bytes = encode_sweep_spec(spec_);
   resilience::JournalRecord rec;
@@ -91,9 +109,11 @@ bool LeaseTable::write_header() {
                 {"ntech", dec(spec_.techniques.size())},
                 {"t", dec(static_cast<std::uint64_t>(wall_ms()))},
                 {"spec", to_hex(bytes)}};
-  if (!file_.append(rec)) {
+  if (!locked_append(rec)) {
     const std::lock_guard<std::mutex> lock(mutex_);
-    last_error_ = "service journal append failed: " + file_.last_error();
+    if (last_error_.empty()) {
+      last_error_ = "service journal append failed: " + file_.last_error();
+    }
     return false;
   }
   return true;
@@ -131,6 +151,7 @@ bool LeaseTable::create(const std::string& dir, const sim::SweepSpec& spec,
     have_header = true;
   }
 
+  file_.set_domain("lease");
   if (!file_.open(path, /*truncate=*/false)) {
     const std::lock_guard<std::mutex> lock(mutex_);
     last_error_ = "cannot open " + path + ": " + file_.last_error();
@@ -176,6 +197,7 @@ bool LeaseTable::open(const std::string& dir, const std::string& owner) {
     last_error_ = "sweep hash mismatch after spec decode (codec/binary skew): " + path;
     return false;
   }
+  file_.set_domain("lease");
   if (!file_.open(path, /*truncate=*/false)) {
     last_error_ = "cannot open " + path + ": " + file_.last_error();
     return false;
@@ -316,9 +338,11 @@ std::optional<LeaseClaim> LeaseTable::claim(std::int64_t now_ms) {
                   {"owner", owner_},
                   {"ttl", dec(spec_.config.service.lease_ttl_ms)},
                   {"t", dec(static_cast<std::uint64_t>(now_ms))}};
-    if (!file_.append(rec)) {
+    if (!locked_append(rec)) {
       const std::lock_guard<std::mutex> lock(mutex_);
-      last_error_ = "lease append failed: " + file_.last_error();
+      if (last_error_.empty()) {
+        last_error_ = "lease append failed: " + file_.last_error();
+      }
       return std::nullopt;
     }
 
@@ -345,7 +369,7 @@ bool LeaseTable::renew(const LeaseClaim& claim, std::int64_t now_ms) {
   rec.fields = {{"row", dec(claim.row)},
                 {"id", hex_u64(claim.lease_id)},
                 {"t", dec(static_cast<std::uint64_t>(now_ms))}};
-  if (!file_.append(rec)) return false;
+  if (!locked_append(rec)) return false;
   tick("service.heartbeats");
   return true;
 }
@@ -383,9 +407,11 @@ AppendStatus LeaseTable::complete(const LeaseClaim& claim,
                 {"owner", owner_},
                 {"t", dec(static_cast<std::uint64_t>(wall_ms()))},
                 {"data", to_hex(data)}};
-  if (!file_.append(rec)) {
+  if (!locked_append(rec)) {
     const std::lock_guard<std::mutex> lock(mutex_);
-    last_error_ = "cell append failed: " + file_.last_error();
+    if (last_error_.empty()) {
+      last_error_ = "cell append failed: " + file_.last_error();
+    }
     return AppendStatus::kError;
   }
   // Done with a different digest while we still own the lease: the journal
@@ -421,9 +447,11 @@ AppendStatus LeaseTable::fail(const LeaseClaim& claim, const sim::RunError& erro
                 {"technique", error.technique},
                 {"phase", error.phase},
                 {"what", to_hex(error.what)}};
-  if (!file_.append(rec)) {
+  if (!locked_append(rec)) {
     const std::lock_guard<std::mutex> lock(mutex_);
-    last_error_ = "err append failed: " + file_.last_error();
+    if (last_error_.empty()) {
+      last_error_ = "err append failed: " + file_.last_error();
+    }
     return AppendStatus::kError;
   }
   return AppendStatus::kOk;

@@ -150,6 +150,10 @@ class LeaseTable {
  private:
   bool write_header();
   std::uint64_t next_lease_id(std::int64_t now_ms);
+  /// Appends through the configured serialization: straight O_APPEND
+  /// ([service] lock_mode=append) or wrapped in an advisory lock file
+  /// (lock_mode=lockfile, for filesystems without atomic append).
+  bool locked_append(const resilience::JournalRecord& rec);
 
   resilience::JournalFile file_;
   std::string dir_;

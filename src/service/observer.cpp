@@ -68,6 +68,7 @@ bool Observer::open(const std::string& dir, const std::string& owner,
     last_error_ = "cannot create " + telemetry_dir(dir) + ": " + ec.message();
     return false;
   }
+  file_.set_domain("sidecar");
   if (!file_.open(sidecar_path(dir, owner), /*truncate=*/false)) {
     last_error_ = file_.last_error();
     return false;
@@ -92,7 +93,11 @@ void Observer::event(const std::string& severity, const std::string& message,
   ev.message = message;
   ev.lease_id = lease_id;
   ev.row = row;
-  if (file_.append(ev.to_journal())) ++events_written_;
+  if (file_.append(ev.to_journal())) {
+    ++events_written_;
+  } else {
+    note_write_error_locked();
+  }
 }
 
 void Observer::flush_snapshot() {
@@ -121,8 +126,20 @@ void Observer::flush_locked(std::unique_lock<std::mutex>&) {
   // One append = one fsync'd line: a worker dying mid-snapshot tears at most
   // this record, which load_worker_telemetry skips and counts — the previous
   // snapshot stands.
-  file_.append(rec);
+  if (!file_.append(rec)) note_write_error_locked();
+  // Advance the flush clock even on failure: a dead disk must cost one
+  // failed append per flush period, not one per heartbeat.
   last_flush_ms_ = now;
+}
+
+std::size_t Observer::write_errors() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return write_errors_;
+}
+
+void Observer::note_write_error_locked() {
+  ++write_errors_;
+  tick("observer.write_errors");
 }
 
 std::vector<WorkerTelemetry> load_worker_telemetry(const std::string& dir) {

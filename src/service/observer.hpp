@@ -80,8 +80,14 @@ class Observer {
   /// last snapshot, else a no-op.
   void flush_due();
 
+  /// Event/snapshot appends that failed (disk full, I/O error). Telemetry
+  /// is best-effort: a full disk degrades to this count (and the
+  /// observer.write_errors counter), never to a dead worker.
+  std::size_t write_errors() const;
+
  private:
   void flush_locked(std::unique_lock<std::mutex>& lock);
+  void note_write_error_locked();
 
   mutable std::mutex mutex_;
   resilience::JournalFile file_;
@@ -91,6 +97,7 @@ class Observer {
   std::string last_error_;
   std::uint64_t seq_ = 0;
   std::size_t events_written_ = 0;
+  std::size_t write_errors_ = 0;
   std::int64_t last_flush_ms_ = 0;
 };
 

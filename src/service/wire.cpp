@@ -60,10 +60,12 @@ void put_config(ByteWriter& w, const SystemConfig& c) {
   w.u32(c.resilience.run_deadline_ms);
   w.u32(c.resilience.max_retries);
   w.u32(c.resilience.backoff_ms);
+  w.u32(c.resilience.max_consecutive_errors);
   w.u32(c.service.lease_ttl_ms);
   w.u32(c.service.heartbeat_ms);
   w.u32(c.service.poll_ms);
   w.u32(c.service.crash_after_rows);
+  w.str(c.service.lock_mode);
   w.u32(c.observability.flush_ms);
   w.u32(c.observability.events_max);
   w.str(c.observability.metrics_path);
@@ -99,8 +101,10 @@ bool get_config(ByteReader& r, SystemConfig& c) {
          r.u64(c.sampling.ff_warm_instr) && r.u64(c.sampling.cold_warm_instr) &&
          r.u64(c.sampling.period_instr) && r.u32(c.resilience.run_deadline_ms) &&
          r.u32(c.resilience.max_retries) && r.u32(c.resilience.backoff_ms) &&
+         r.u32(c.resilience.max_consecutive_errors) &&
          r.u32(c.service.lease_ttl_ms) && r.u32(c.service.heartbeat_ms) &&
          r.u32(c.service.poll_ms) && r.u32(c.service.crash_after_rows) &&
+         r.str(c.service.lock_mode) &&
          r.u32(c.observability.flush_ms) && r.u32(c.observability.events_max) &&
          r.str(c.observability.metrics_path);
 }
@@ -131,14 +135,27 @@ bool decode_sweep_spec(const std::string& bytes, sim::SweepSpec& out) {
   if (!r.u32(version) || version != kWireVersion) return false;
   out = sim::SweepSpec{};
   if (!get_config(r, out.config)) return false;
+  // Enum-like string fields must hold a known value, or a later
+  // SystemConfig::validate() would throw on bytes decode() accepted.
+  if (out.config.service.lock_mode != "append" &&
+      out.config.service.lock_mode != "lockfile") {
+    return false;
+  }
   std::uint64_t n_workloads = 0;
   if (!r.u64(n_workloads)) return false;
   out.workloads.clear();
+  // Counts come off the wire unvalidated; every element below costs at
+  // least one byte, so a count larger than the remaining payload is
+  // already garbage. Checking here keeps a flipped length byte from
+  // turning reserve() into a multi-gigabyte allocation (totality pinned
+  // by the wire fuzz test).
+  if (n_workloads > bytes.size()) return false;
   out.workloads.reserve(n_workloads);
   for (std::uint64_t i = 0; i < n_workloads; ++i) {
     trace::Workload wl;
     std::uint64_t n_bench = 0;
     if (!r.str(wl.name) || !r.u64(n_bench)) return false;
+    if (n_bench > bytes.size()) return false;
     wl.benchmarks.reserve(n_bench);
     for (std::uint64_t j = 0; j < n_bench; ++j) {
       std::string b;
@@ -150,6 +167,7 @@ bool decode_sweep_spec(const std::string& bytes, sim::SweepSpec& out) {
   std::uint64_t n_tech = 0;
   if (!r.u64(n_tech)) return false;
   out.techniques.clear();
+  if (n_tech > bytes.size()) return false;
   out.techniques.reserve(n_tech);
   for (std::uint64_t i = 0; i < n_tech; ++i) {
     std::string label;

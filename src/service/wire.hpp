@@ -24,7 +24,8 @@ namespace esteem::service {
 /// Bump when the encoding changes; a mismatched journal is refused.
 /// v2: [observability] joined the execution-policy sections.
 /// v3: [sampling] joined the config.
-inline constexpr std::uint32_t kWireVersion = 3;
+/// v4: resilience.max_consecutive_errors and service.lock_mode.
+inline constexpr std::uint32_t kWireVersion = 4;
 
 std::string encode_sweep_spec(const sim::SweepSpec& spec);
 

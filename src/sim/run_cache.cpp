@@ -2,17 +2,21 @@
 
 #include <atomic>
 #include <bit>
+#include <cerrno>
 #include <cstddef>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <future>
 #include <utility>
 
 #if !defined(_WIN32)
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
+#include "chaos/file_ops.hpp"
 #include "common/bytes.hpp"
 #include "common/env.hpp"
 #include "resilience/crc32.hpp"
@@ -502,11 +506,14 @@ void RunCache::store_to_disk(std::uint64_t hash, const std::string& fingerprint,
   w.u32(resilience::crc32(payload));
   const std::string file = w.take() + payload;
 
-  // Write-then-rename so concurrent bench processes never observe a torn
-  // memo file.
+  // Write-then-fsync-then-rename so concurrent bench processes never
+  // observe a torn memo file — and so a power loss right after the rename
+  // cannot publish a page-cache-only file that truncates to the CRC-failing
+  // case on the next boot.
   const std::filesystem::path final_path = memo_path(dir, hash);
   std::filesystem::path tmp = final_path;
   tmp += ".tmp";
+#if defined(_WIN32)
   {
     std::ofstream outf(tmp, std::ios::binary | std::ios::trunc);
     if (!outf.good()) return;
@@ -518,7 +525,46 @@ void RunCache::store_to_disk(std::uint64_t hash, const std::string& fingerprint,
       return;
     }
   }
-  std::filesystem::rename(tmp, final_path, ec);
+#else
+  {
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return;
+    std::size_t off = 0;
+    while (off < file.size()) {
+      const ssize_t n = chaos::px_write("memo.tmp.write", fd,
+                                        file.data() + off, file.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        std::filesystem::remove(tmp, ec);
+        note_store_error("short write");
+        return;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    if (chaos::px_fsync("memo.tmp.fsync", fd) != 0) {
+      // The bytes may or may not be durable; publishing them would trade a
+      // recompute for a possible CRC quarantine after power loss. Drop the
+      // temp file and keep the outcome in memory only.
+      ::close(fd);
+      std::filesystem::remove(tmp, ec);
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.store_fsync_errors;
+      }
+      if (telemetry::active()) {
+        telemetry::registry().counter("memo.store_fsync_errors").add();
+      }
+      std::fprintf(stderr,
+                   "memo: fsync failed (%s); outcome kept in memory only\n",
+                   std::strerror(errno));
+      return;
+    }
+    ::close(fd);
+  }
+#endif
+  chaos::crashpoint("memo.crash.before_rename");
+  chaos::px_rename("memo.rename", tmp, final_path, ec);
   if (ec) {
     // A failed rename used to be silently swallowed, stranding the .tmp
     // file. Clean it up and make the failure observable.
@@ -527,6 +573,7 @@ void RunCache::store_to_disk(std::uint64_t hash, const std::string& fingerprint,
     note_store_error(ec.message().c_str());
     return;
   }
+  chaos::crashpoint("memo.crash.after_rename");
   const std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.disk_stores;
 }

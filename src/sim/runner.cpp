@@ -53,10 +53,42 @@ struct WorkloadTaskState {
   /// Set when any of this workload's tasks was drained without running
   /// because shutdown was requested.
   std::atomic<bool> skipped{false};
+  /// Set when the consecutive-error circuit breaker drained a task instead.
+  std::atomic<bool> breaker_skipped{false};
   /// Technique tasks still outstanding; the task that takes it to zero
   /// journals the completed row (all sibling writes are visible to it via
   /// the acq_rel decrement).
   std::atomic<std::size_t> remaining{0};
+};
+
+/// [resilience] max_consecutive_errors: N run failures in a row (counted
+/// after run_guarded exhausted its retries, reset by any success) trip the
+/// breaker, and every task dispatched afterwards drains as breaker-skipped.
+/// "Consecutive" is in task-completion order, which under threading is a
+/// best-effort interleaving — good enough to tell "this config fails every
+/// run" from "one workload is flaky", which is all the breaker is for.
+struct CircuitBreaker {
+  explicit CircuitBreaker(std::uint32_t threshold) : threshold_(threshold) {}
+
+  bool tripped() const noexcept {
+    return threshold_ != 0 && tripped_.load(std::memory_order_relaxed);
+  }
+  void note_success() noexcept {
+    if (threshold_ != 0) consecutive_.store(0, std::memory_order_relaxed);
+  }
+  void note_error() noexcept {
+    if (threshold_ == 0) return;
+    if (consecutive_.fetch_add(1, std::memory_order_acq_rel) + 1 >= threshold_ &&
+        !tripped_.exchange(true, std::memory_order_acq_rel) &&
+        telemetry::active()) {
+      telemetry::registry().counter("resilience.circuit_tripped").add();
+    }
+  }
+
+ private:
+  const std::uint32_t threshold_;
+  std::atomic<std::uint32_t> consecutive_{0};
+  std::atomic<bool> tripped_{false};
 };
 
 }  // namespace
@@ -177,17 +209,27 @@ SweepResult run_sweep(const SweepSpec& spec) {
   TaskPool pool(std::min<unsigned>(
       resolved, static_cast<unsigned>(scheduled * (1 + n_techniques))));
 
+  CircuitBreaker breaker(spec.config.resilience.max_consecutive_errors);
+
   for (std::size_t wi = 0; wi < n_workloads; ++wi) {
     if (states[wi] == nullptr) continue;  // restored from the journal
-    pool.submit([&spec, &result, &states, &pool, &done, wi, n_techniques] {
+    pool.submit([&spec, &result, &states, &pool, &done, &breaker, wi,
+                 n_techniques] {
       const trace::Workload& workload = spec.workloads[wi];
       WorkloadTaskState& state = *states[wi];
 
       // Graceful shutdown: queued tasks drain without executing, so the
       // pool empties, completed rows stay journaled, and the caller reports
-      // the sweep as interrupted.
+      // the sweep as interrupted. A tripped circuit breaker drains the same
+      // way but marks the row breaker-skipped.
       if (resilience::shutdown_requested()) {
         state.skipped.store(true, std::memory_order_relaxed);
+        state.baseline_promise.set_value(nullptr);
+        done.count_down(static_cast<std::ptrdiff_t>(1 + n_techniques));
+        return;
+      }
+      if (breaker.tripped()) {
+        state.breaker_skipped.store(true, std::memory_order_relaxed);
         state.baseline_promise.set_value(nullptr);
         done.count_down(static_cast<std::ptrdiff_t>(1 + n_techniques));
         return;
@@ -199,9 +241,11 @@ SweepResult run_sweep(const SweepSpec& spec) {
         base = run_guarded(
             sweep_run_spec(spec, workload, Technique::BaselinePeriodicAll),
             "baseline:" + workload.name, spec.journal);
+        breaker.note_success();
       } catch (...) {
         state.baseline_error =
             current_exception_to_run_error(workload.name, "baseline");
+        breaker.note_error();
       }
       state.baseline_promise.set_value(base);  // null signals baseline failure
       if (base == nullptr) {
@@ -210,12 +254,18 @@ SweepResult run_sweep(const SweepSpec& spec) {
       }
 
       for (std::size_t ti = 0; ti < n_techniques; ++ti) {
-        pool.submit([&spec, &result, &states, &done, wi, ti] {
+        pool.submit([&spec, &result, &states, &done, &breaker, wi, ti] {
           const trace::Workload& wl = spec.workloads[wi];
           const Technique technique = spec.techniques[ti];
           WorkloadTaskState& st = *states[wi];
           if (resilience::shutdown_requested()) {
             st.skipped.store(true, std::memory_order_relaxed);
+            st.remaining.fetch_sub(1, std::memory_order_acq_rel);
+            done.count_down();
+            return;
+          }
+          if (breaker.tripped()) {
+            st.breaker_skipped.store(true, std::memory_order_relaxed);
             st.remaining.fetch_sub(1, std::memory_order_acq_rel);
             done.count_down();
             return;
@@ -227,16 +277,20 @@ SweepResult run_sweep(const SweepSpec& spec) {
                 sweep_run_spec(spec, wl, technique),
                 std::string(to_string(technique)) + ":" + wl.name, spec.journal);
             result.rows[wi].comparisons[ti] = compare(wl.name, technique, *baseline, *tech);
+            breaker.note_success();
           } catch (...) {
             st.technique_errors[ti] = current_exception_to_run_error(
                 wl.name, std::string(to_string(technique)));
+            breaker.note_error();
           }
           // The task that retires the workload's last technique journals the
           // row — but only a fully clean one, so an errored or interrupted
           // workload re-runs on resume.
           if (st.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
               spec.journal != nullptr &&
-              !st.skipped.load(std::memory_order_relaxed) && !st.baseline_error) {
+              !st.skipped.load(std::memory_order_relaxed) &&
+              !st.breaker_skipped.load(std::memory_order_relaxed) &&
+              !st.baseline_error) {
             bool clean = true;
             for (const std::optional<RunError>& e : st.technique_errors) {
               if (e) clean = false;
@@ -266,6 +320,17 @@ SweepResult run_sweep(const SweepSpec& spec) {
     std::optional<RunError> first = std::move(state.baseline_error);
     for (std::size_t ti = 0; !first && ti < n_techniques; ++ti) {
       first = std::move(state.technique_errors[ti]);
+    }
+    if (state.breaker_skipped.load(std::memory_order_relaxed)) {
+      // Breaker-skipped rows are not "interrupted": the errors that tripped
+      // the breaker make the sweep exit 3, and the journal lets the rows
+      // resume under a fixed config. A workload that errored *and* was then
+      // breaker-skipped still reports its error — the trip must never
+      // swallow the failures that caused it.
+      result.rows[wi].skipped = true;
+      result.circuit_broken = true;
+      if (first) result.errors.push_back(std::move(*first));
+      continue;
     }
     if (first) {
       result.errors.push_back(std::move(*first));

@@ -73,6 +73,12 @@ struct SweepResult {
   /// True when a shutdown request (SIGINT/SIGTERM or request_shutdown())
   /// cut the sweep short; skipped rows mark the unevaluated workloads.
   bool interrupted = false;
+  /// True when the [resilience] max_consecutive_errors circuit breaker
+  /// tripped: the errors list holds the failures that tripped it and
+  /// skipped rows mark the workloads never dispatched. Unlike
+  /// `interrupted` this always comes with a non-empty errors list, so
+  /// ok() is already false and the CLI exits 3 (workload errored).
+  bool circuit_broken = false;
 
   bool ok() const noexcept { return errors.empty() && !interrupted; }
 

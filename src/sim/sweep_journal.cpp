@@ -101,6 +101,7 @@ bool decode_comparisons(const std::string& bytes, std::size_t n_techniques,
 }
 
 bool SweepJournal::open(const std::string& path, const SweepSpec& spec) {
+  file_.set_domain("sweep");
   if (!file_.open(path, /*truncate=*/false)) return false;
   resilience::JournalRecord header;
   header.kind = "sweep";

@@ -137,6 +137,91 @@ TEST(ServiceWire, RejectsTruncationTrailingBytesAndForeignVersion) {
   EXPECT_FALSE(decode_sweep_spec(wrong_version, out));
 }
 
+TEST(ServiceWire, V4PolicyFieldsRoundTripAndBadLockModeRejected) {
+  sim::SweepSpec spec = tiny_sweep({"mcf"}, {sim::Technique::Esteem});
+  spec.config.resilience.max_consecutive_errors = 7;
+  spec.config.service.lock_mode = "lockfile";
+
+  const std::string bytes = encode_sweep_spec(spec);
+  sim::SweepSpec out;
+  ASSERT_TRUE(decode_sweep_spec(bytes, out));
+  EXPECT_EQ(out.config.resilience.max_consecutive_errors, 7u);
+  EXPECT_EQ(out.config.service.lock_mode, "lockfile");
+
+  // A corrupted enum string must be refused at decode time, not left for a
+  // later validate() to throw on.
+  const std::size_t pos = bytes.find("lockfile");
+  ASSERT_NE(pos, std::string::npos);
+  std::string corrupt = bytes;
+  corrupt[pos] = 'x';
+  EXPECT_FALSE(decode_sweep_spec(corrupt, out));
+
+  // Same for a spec that was encoded with an unknown mode outright.
+  spec.config.service.lock_mode = "flock";
+  EXPECT_FALSE(decode_sweep_spec(encode_sweep_spec(spec), out));
+}
+
+// Totality fuzz: decode_sweep_spec must never crash, over-allocate, or hang
+// on hostile bytes, and anything it accepts must be self-consistent (its
+// re-encoding is a fixed point of encode∘decode). Deterministic seed — a
+// failure here reproduces exactly.
+TEST(ServiceWireFuzz, DecodeIsTotalAndAcceptedSpecsAreSelfConsistent) {
+  sim::SweepSpec spec = tiny_sweep({"mcf", "gobmk+namd"},
+                                   {sim::Technique::Esteem, sim::Technique::RefrintRPV});
+  spec.workloads[1].benchmarks = {"gobmk", "namd"};
+  spec.config.service.lock_mode = "lockfile";
+  spec.config.resilience.max_consecutive_errors = 3;
+  spec.config.observability.metrics_path = "m.om";
+  const std::string bytes = encode_sweep_spec(spec);
+
+  const auto check = [](const std::string& mutated) {
+    sim::SweepSpec out;
+    if (!decode_sweep_spec(mutated, out)) return;
+    // Accepted: the decoded spec must survive its own round trip exactly.
+    const std::string enc = encode_sweep_spec(out);
+    sim::SweepSpec again;
+    ASSERT_TRUE(decode_sweep_spec(enc, again));
+    EXPECT_EQ(encode_sweep_spec(again), enc);
+  };
+
+  // Every prefix (covers all truncation points, including mid-field).
+  sim::SweepSpec out;
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    EXPECT_FALSE(decode_sweep_spec(bytes.substr(0, n), out)) << "prefix " << n;
+  }
+
+  std::uint64_t state = 0x243F6A8885A308D3ULL;  // deterministic xorshift64
+  const auto rng = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int i = 0; i < 700; ++i) {  // single-byte flips
+    std::string m = bytes;
+    m[rng() % m.size()] = static_cast<char>(rng());
+    check(m);
+  }
+  for (int i = 0; i < 700; ++i) {  // flip then truncate
+    std::string m = bytes;
+    m[rng() % m.size()] = static_cast<char>(rng());
+    check(m.substr(0, rng() % (m.size() + 1)));
+  }
+  for (int i = 0; i < 700; ++i) {  // insert junk at a random offset
+    std::string m = bytes;
+    m.insert(rng() % (m.size() + 1), 1, static_cast<char>(rng()));
+    check(m);
+  }
+  // Length-prefix bombs: blast each plausible count field with huge values.
+  // A flipped length byte must fail cleanly, not reserve() gigabytes.
+  for (int i = 0; i < 200; ++i) {
+    std::string m = bytes;
+    const std::size_t at = rng() % (m.size() - 8);
+    for (int b = 0; b < 8; ++b) m[at + b] = static_cast<char>(0xFF);
+    check(m);
+  }
+}
+
 // ---------------------------------------------------------------- lease table
 
 TEST(LeaseTable, PlanOpenRoundTripAndForeignSweepRefused) {
@@ -351,6 +436,43 @@ TEST(ServiceEndToEnd, WorkerResolvesSweepByteIdenticalToRunSweep) {
   EXPECT_EQ(sim::figure_report(collected.result, "sweep"),
             sim::figure_report(direct, "sweep"));
   EXPECT_EQ(report_collect(collected, CoordinatorOptions{}), 0);
+}
+
+// lock_mode=lockfile routes every journal append through the O_EXCL lock
+// file (the NFS-safe fallback). Same sweep, same bytes — and no lock file
+// left behind once the worker exits.
+TEST(ServiceEndToEnd, LockfileModeResolvesByteIdenticalToRunSweep) {
+  const TempDir dir("lockfile-e2e");
+  sim::SweepSpec spec = tiny_sweep({"gamess", "gobmk"}, {sim::Technique::RefrintRPV});
+  spec.config.service.lock_mode = "lockfile";
+
+  std::string plan_error;
+  ASSERT_TRUE(plan_service(dir.str(), spec, plan_error)) << plan_error;
+
+  resilience::clear_shutdown();
+  const std::string saved_memo = sim::RunCache::instance().disk_dir();
+  WorkerOptions wopts;
+  wopts.dir = dir.str();
+  wopts.owner = "inproc-lockfile";
+  wopts.quiet = true;
+  const WorkerReport rep = run_worker(wopts);
+  sim::RunCache::instance().set_disk_dir(saved_memo);
+  ASSERT_TRUE(rep.ok()) << rep.error;
+  EXPECT_EQ(rep.rows_completed, 2u);
+  EXPECT_FALSE(fs::exists(LeaseTable::journal_path(dir.str()) + ".lock"));
+
+  CoordinatorOptions copts;
+  copts.dir = dir.str();
+  copts.csv_path = (dir.path / "service.csv").string();
+  copts.quiet = true;
+  const CollectResult collected = wait_and_collect(copts);
+  ASSERT_TRUE(collected.ok) << collected.error;
+
+  sim::RunCache::instance().clear();
+  const sim::SweepResult direct = sim::run_sweep(spec);
+  const std::string direct_csv = (dir.path / "direct.csv").string();
+  sim::write_csv(direct, direct_csv);
+  EXPECT_EQ(read_file(copts.csv_path), read_file(direct_csv));
 }
 
 TEST(ServiceEndToEnd, FailedWorkloadsMirrorRunSweepErrors) {

@@ -67,6 +67,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/fault_plan.hpp"
 #include "common/config_io.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
@@ -224,6 +225,19 @@ int run_sweep_mode(const SystemConfig& cfg, const std::string& sweep_arg,
       }
     }
   }
+  if (result.circuit_broken) {
+    std::size_t skipped = 0;
+    for (const sim::WorkloadRow& row : result.rows) skipped += row.skipped ? 1 : 0;
+    std::fprintf(stderr,
+                 "circuit breaker tripped after %u consecutive errors: "
+                 "%zu workload(s) skipped%s\n",
+                 spec.config.resilience.max_consecutive_errors, skipped,
+                 effective_journal.empty()
+                     ? ""
+                     : ("; fix the config and resume with --resume " +
+                        effective_journal)
+                           .c_str());
+  }
   if (result.interrupted) {
     // Partial summary above is already on stdout; the dedicated exit code
     // lets wrappers distinguish "interrupted, resumable" from failure.
@@ -257,6 +271,7 @@ void flush_telemetry() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  chaos::install_from_env();
   std::string workload = "h264ref";
   std::string technique = "esteem";
   std::string sweep_arg;

@@ -51,6 +51,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "chaos/fault_plan.hpp"
 #include "common/config_io.hpp"
 #include "resilience/shutdown.hpp"
 #include "service/coordinator.hpp"
@@ -160,6 +161,7 @@ int run_check_metrics(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  chaos::install_from_env();
   std::string mode;
   std::string dir;
   std::string sweep_arg;
